@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures: the paper-scale corpus, built once.
+
+Environment knobs:
+
+- ``REPRO_BENCH_APPS`` — population size (default 1188, the paper scale).
+  Set e.g. ``REPRO_BENCH_APPS=200`` for a quick pass; assertion bands scale.
+- ``REPRO_BENCH_SEED`` — corpus seed (default 0).
+
+Rendered tables/figures are printed (run pytest with ``-s`` to watch) and
+written under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.corpus import PAPER_TOTAL_APPS, build_corpus
+
+OUT_DIR = Path(__file__).parent / "out"
+
+BENCH_APPS = int(os.environ.get("REPRO_BENCH_APPS", str(PAPER_TOTAL_APPS)))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: Scale factor applied to published absolute numbers in assertions.
+SCALE = BENCH_APPS / PAPER_TOTAL_APPS
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """The full experimental corpus (built once per benchmark session)."""
+    return build_corpus(n_apps=BENCH_APPS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_split(paper):
+    """(suspicious, normal) split of the corpus."""
+    return paper.payload_check().split(paper.trace)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+#: Ablations run on a mid-size corpus regardless of REPRO_BENCH_APPS so the
+#: variant sweeps stay tractable.
+ABLATION_APPS = int(os.environ.get("REPRO_ABLATION_APPS", "300"))
+ABLATION_SAMPLE = max(30, int(150 * ABLATION_APPS / 300))
+
+
+@pytest.fixture(scope="session")
+def ablation_corpus():
+    """A mid-size corpus shared by all ablation benches."""
+    return build_corpus(n_apps=ABLATION_APPS, seed=7)

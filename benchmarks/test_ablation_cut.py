@@ -1,0 +1,66 @@
+"""Ablation — dendrogram cut height vs signature quality.
+
+The paper warns that careless generation produces match-everything
+signatures.  Sweeping the cut fraction shows the trade-off: higher cuts
+merge unrelated packets into clusters whose common substrings shrink
+toward boilerplate (FP risk, weaker tokens); lower cuts fragment modules
+into many small clusters (more signatures, possible recall loss).
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.core.pipeline import DetectionPipeline, PipelineConfig
+from repro.signatures.generator import GeneratorConfig
+
+FRACTIONS = (0.15, 0.35, 0.6, 0.9)
+
+
+@pytest.fixture(scope="module")
+def sweep(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    out = {}
+    for fraction in FRACTIONS:
+        config = PipelineConfig(generator=GeneratorConfig(cut_fraction=fraction))
+        pipeline = DetectionPipeline(ablation_corpus.trace, check, config)
+        out[fraction] = pipeline.run(ABLATION_SAMPLE, seed=2)
+    return out
+
+
+def test_tight_cuts_produce_signatures(sweep, benchmark):
+    for fraction in (0.15, 0.35):
+        assert sweep[fraction].signatures, fraction
+
+
+def test_high_cuts_degenerate(sweep, benchmark):
+    """The paper's warning made measurable: cutting too high merges
+    unrelated packets, so cluster-common substrings either shrink toward
+    match-everything boilerplate (FP blow-up) or vanish entirely (no
+    signatures)."""
+    loose = sweep[0.9]
+    degenerate = (
+        not loose.signatures
+        or loose.metrics.fp_percent > sweep[0.35].metrics.fp_percent
+        or loose.metrics.tp_percent < 0.5 * sweep[0.35].metrics.tp_percent
+    )
+    assert degenerate
+
+
+def test_lower_cut_more_signatures(sweep, benchmark):
+    assert len(sweep[0.15].signatures) >= len(sweep[0.9].signatures)
+
+
+def test_default_cut_in_sweet_spot(sweep, benchmark):
+    default = sweep[0.35]
+    assert default.metrics.tp_percent >= 55.0
+    assert default.metrics.fp_percent < 6.0
+
+
+def test_report(sweep, benchmark):
+    lines = ["Ablation — cut fraction", f"{'fraction':>9} {'TP%':>7} {'FP%':>7} {'#sigs':>6}"]
+    for fraction, result in sweep.items():
+        lines.append(
+            f"{fraction:>9.2f} {result.metrics.tp_percent:>7.1f} "
+            f"{result.metrics.fp_percent:>7.2f} {len(result.signatures):>6d}"
+        )
+    emit("ablation_cut", "\n".join(lines))

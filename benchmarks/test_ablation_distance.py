@@ -1,0 +1,74 @@
+"""Ablation — distance composition (paper Section IV-A's design claim).
+
+The paper argues that combining destination distance with content distance
+yields "advertisement module specific signatures".  This bench runs the
+identical pipeline with each side of the metric disabled and compares.
+
+Expected shape: the combined (paper) metric gives domain-scoped signatures
+and the best TP at comparable FP; destination-only loses content tokens
+(worse TP), content-only loses destination coherence (fewer scoped
+signatures and/or worse FP).
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.baselines.variants import run_variant
+
+
+@pytest.fixture(scope="module")
+def results(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    out = {}
+    for variant in ("paper", "destination_only", "content_only"):
+        out[variant] = run_variant(
+            ablation_corpus.trace, check, variant, ABLATION_SAMPLE, seed=3
+        )
+    return out
+
+
+def test_paper_metric_detects_well(results, benchmark):
+    assert results["paper"].metrics.tp_percent > 60.0
+    assert results["paper"].metrics.fp_percent < 5.0
+
+
+def test_paper_signatures_are_module_scoped(results, benchmark):
+    scoped = [s for s in results["paper"].signatures if s.scope_domain]
+    assert len(scoped) >= 0.5 * len(results["paper"].signatures)
+
+
+def test_destination_only_loses_detection(results, benchmark):
+    """Destination clustering alone still groups per module, but clusters
+    mix leaking and non-leaking request shapes, diluting invariant tokens."""
+    assert (
+        results["destination_only"].metrics.tp_percent
+        <= results["paper"].metrics.tp_percent + 2.0
+    )
+
+
+def test_content_only_still_works_but_less_scoped(results, benchmark):
+    paper_scoped = sum(1 for s in results["paper"].signatures if s.scope_domain)
+    content_scoped = sum(1 for s in results["content_only"].signatures if s.scope_domain)
+    paper_fraction = paper_scoped / max(1, len(results["paper"].signatures))
+    content_fraction = content_scoped / max(1, len(results["content_only"].signatures))
+    assert content_fraction <= paper_fraction + 0.1
+
+
+def test_report(results, benchmark):
+    lines = ["Ablation — distance composition", f"{'variant':<20} {'TP%':>7} {'FP%':>7} {'#sigs':>6} {'scoped':>7}"]
+    for name, result in results.items():
+        scoped = sum(1 for s in result.signatures if s.scope_domain)
+        lines.append(
+            f"{name:<20} {result.metrics.tp_percent:>7.1f} {result.metrics.fp_percent:>7.2f} "
+            f"{len(result.signatures):>6d} {scoped:>7d}"
+        )
+    emit("ablation_distance", "\n".join(lines))
+
+
+def test_bench_paper_variant(ablation_corpus, benchmark):
+    check = ablation_corpus.payload_check()
+    benchmark.pedantic(
+        lambda: run_variant(ablation_corpus.trace, check, "paper", ABLATION_SAMPLE, seed=3),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,67 @@
+"""Extension — noise-aware (Hamsa-style) generation vs the plain cut.
+
+The paper names Hamsa [30] as a future direction.  Its core mechanism — a
+false-positive budget checked against a normal-traffic pool — removes the
+match-everything pathology at its root: ubiquitous tokens are rejected no
+matter how the dendrogram was cut.  This bench re-runs the *pathological*
+0.6 cut with and without the noise budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.clustering.linkage import agglomerate
+from repro.dataset.split import sample_packets
+from repro.distance.matrix import distance_matrix
+from repro.distance.packet import PacketDistance
+from repro.eval.metrics import compute_metrics
+from repro.signatures.generator import GeneratorConfig, SignatureGenerator
+from repro.signatures.matcher import SignatureMatcher
+from repro.signatures.noiseaware import NoiseAwareGenerator
+
+
+@pytest.fixture(scope="module")
+def results(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    suspicious, normal = check.split(ablation_corpus.trace)
+    sample = sample_packets(suspicious, ABLATION_SAMPLE, seed=29)
+    matrix = distance_matrix(sample, PacketDistance.paper())
+    dendrogram = agglomerate(matrix)
+    noise_pool = sample_packets(normal, 500, seed=31)
+    out = {}
+    for cut in (0.35, 0.6):
+        config = GeneratorConfig(cut_fraction=cut)
+        for name, generator in (
+            (f"plain@{cut}", SignatureGenerator(config)),
+            (f"hamsa@{cut}", NoiseAwareGenerator(noise_pool, max_token_fp=0.01, config=config)),
+        ):
+            signatures = generator.from_dendrogram(dendrogram, sample)
+            metrics = compute_metrics(
+                SignatureMatcher(signatures), suspicious, normal, n_sample=len(sample)
+            )
+            out[name] = (signatures, metrics)
+    return out
+
+
+def test_noise_budget_fixes_pathological_cut(results, benchmark):
+    plain_fp = results["plain@0.6"][1].fp_percent
+    hamsa_fp = results["hamsa@0.6"][1].fp_percent
+    assert hamsa_fp <= plain_fp
+    assert hamsa_fp < 5.0  # even at the cut that breaks plain generation
+
+
+def test_noise_budget_harmless_at_default_cut(results, benchmark):
+    plain = results["plain@0.35"][1]
+    hamsa = results["hamsa@0.35"][1]
+    assert hamsa.tp_percent >= plain.tp_percent - 6.0
+    assert hamsa.fp_percent <= plain.fp_percent + 0.5
+
+
+def test_report(results, benchmark):
+    lines = ["Extension — noise-aware (Hamsa-style) generation",
+             f"{'variant':<14} {'TP%':>7} {'FP%':>7} {'#sigs':>6}"]
+    for name, (signatures, metrics) in results.items():
+        lines.append(
+            f"{name:<14} {metrics.tp_percent:>7.1f} {metrics.fp_percent:>7.2f} {len(signatures):>6d}"
+        )
+    emit("ablation_noise_aware", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Extension — WHOIS-verified IP distance (paper Section VI's suggestion).
+
+The paper worries that "two HTTP packets may have close IP addresses but
+be owned [by] different organizations" and suggests registration data as
+the fix.  This bench runs the pipeline with the registry-corrected IP
+component and checks it does no harm on the corpus (where the bit
+heuristic already mostly agrees with ownership) while demonstrating the
+pathological case the registry repairs.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.baselines.variants import run_variant
+from repro.distance.destination import destination_distance
+from repro.http.packet import Destination
+from repro.net.registry import IpRegistry
+
+
+@pytest.fixture(scope="module")
+def results(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    return {
+        variant: run_variant(ablation_corpus.trace, check, variant, ABLATION_SAMPLE, seed=13)
+        for variant in ("paper", "whois")
+    }
+
+
+def test_whois_detection_comparable(results, benchmark):
+    paper_tp = results["paper"].metrics.tp_percent
+    whois_tp = results["whois"].metrics.tp_percent
+    assert whois_tp >= paper_tp - 10.0
+
+
+def test_whois_fp_no_worse(results, benchmark):
+    assert results["whois"].metrics.fp_percent <= results["paper"].metrics.fp_percent + 2.0
+
+
+def test_registry_repairs_erroneous_proximity(benchmark):
+    """The concrete §VI scenario: adjacent blocks, different owners."""
+    registry = IpRegistry()
+    registry.register("10.0.0.0", 16, "AdCo")
+    registry.register("10.1.0.0", 16, "NewsCo")
+    a = Destination.make("10.0.0.7", 80, "track.adco.example")
+    b = Destination.make("10.1.0.7", 80, "www.newsco.example")
+    uncorrected = destination_distance(a, b)
+    corrected = destination_distance(a, b, registry=registry)
+    assert corrected > uncorrected  # ownership overrides bit proximity
+
+
+def test_report(results, benchmark):
+    lines = ["Extension — WHOIS-verified IP distance",
+             f"{'variant':<10} {'TP%':>7} {'FP%':>7} {'#sigs':>6}"]
+    for name, result in results.items():
+        lines.append(
+            f"{name:<10} {result.metrics.tp_percent:>7.1f} "
+            f"{result.metrics.fp_percent:>7.2f} {len(result.signatures):>6d}"
+        )
+    emit("ablation_whois", "\n".join(lines))

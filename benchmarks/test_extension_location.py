@@ -1,0 +1,79 @@
+"""Extension — location leakage (the paper's third sensitive category).
+
+Table I counts LOCATION among the dangerous permissions and the paper's
+ref [3] (Grace et al., WiSec 2012) documents ad libraries harvesting
+coordinates, but Table III never measures location because coordinates
+have no exact spelling to search for.  The tolerance scanner closes the
+gap; this bench measures the corpus's location-leak footprint and whether
+the paper's signatures incidentally cover it.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.baselines.variants import run_variant
+from repro.sensitive.location import LocationCheck
+from repro.signatures.matcher import SignatureMatcher
+
+
+@pytest.fixture(scope="module")
+def location_split(ablation_corpus):
+    check = LocationCheck(ablation_corpus.device.location)
+    return check.split(ablation_corpus.trace)
+
+
+def test_location_leaks_exist(location_split, benchmark):
+    leaking, __ = location_split
+    assert len(leaking) > 10
+
+
+def test_only_location_permitted_apps_leak(ablation_corpus, location_split, benchmark):
+    leaking, __ = location_split
+    permitted = {
+        a.package
+        for a in ablation_corpus.apps
+        if any(p.name == "ACCESS_FINE_LOCATION" for p in a.manifest.permissions)
+    }
+    assert all(p.app_id in permitted for p in leaking)
+
+
+def test_leaks_go_to_ad_networks(location_split, benchmark):
+    leaking, __ = location_split
+    domains = {p.destination.registered_domain for p in leaking}
+    assert domains & {"doubleclick.net", "amoad.com", "adlantis.jp"}
+
+
+def test_no_false_hits_on_clean_traffic(ablation_corpus, location_split, benchmark):
+    """Coordinate-shaped noise (prices, versions, random decimals) must not
+    trigger: everything flagged must come from a geo-sending module."""
+    leaking, __ = location_split
+    geo_services = {"admob", "amoad", "adlantis"}
+    assert all(p.meta.get("service") in geo_services for p in leaking)
+
+
+def test_identifier_signatures_cover_location_leaks(ablation_corpus, location_split, benchmark):
+    """The geo params ride on ad requests that also carry identifiers, so
+    the paper's signatures incidentally flag most location leaks."""
+    leaking, __ = location_split
+    check = ablation_corpus.payload_check()
+    result = run_variant(ablation_corpus.trace, check, "paper", ABLATION_SAMPLE, seed=23)
+    matcher = SignatureMatcher(result.signatures)
+    caught = sum(matcher.is_sensitive(p) for p in leaking)
+    assert caught / len(leaking) > 0.5
+
+
+def test_report(ablation_corpus, location_split, benchmark):
+    leaking, other = location_split
+    by_domain: dict[str, int] = {}
+    for packet in leaking:
+        by_domain[packet.destination.registered_domain] = (
+            by_domain.get(packet.destination.registered_domain, 0) + 1
+        )
+    lines = [
+        "Extension — location leakage",
+        f"location-leaking packets: {len(leaking)} of {len(leaking) + len(other)}",
+        f"{'domain':<20} {'packets':>8}",
+    ]
+    for domain, count in sorted(by_domain.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{domain:<20} {count:>8d}")
+    emit("extension_location", "\n".join(lines))

@@ -1,0 +1,69 @@
+"""Extension — TLS adoption sensitivity (the paper's stated limitation).
+
+"It can be difficult to detect sensitive information in SSL traffic."
+The bench sweeps the fraction of ad/analytics SDKs migrated to TLS and
+measures the detection floor of plaintext-trained signatures on the
+observer's view of the same (still leaking) traffic.
+
+Expected shape: recall decays roughly linearly with adoption; at 100%
+adoption only plaintext long-tail leaks (developer backends, which
+migrated last in reality too) remain detectable.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.baselines.variants import run_variant
+from repro.signatures.matcher import SignatureMatcher
+from repro.simulation.tls import adopt_tls
+
+ADOPTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    suspicious, __ = check.split(ablation_corpus.trace)
+    result = run_variant(ablation_corpus.trace, check, "paper", ABLATION_SAMPLE, seed=37)
+    matcher = SignatureMatcher(result.signatures)
+    points = {}
+    for adoption in ADOPTIONS:
+        observed = adopt_tls(suspicious, adoption, seed=41)
+        recall = sum(matcher.is_sensitive(p) for p in observed) / len(observed)
+        encrypted = sum(1 for p in observed if p.meta.get("tls"))
+        points[adoption] = (recall, encrypted, len(observed))
+    return points
+
+
+def test_recall_monotone_decreasing(sweep, benchmark):
+    recalls = [sweep[a][0] for a in ADOPTIONS]
+    assert all(x >= y - 0.02 for x, y in zip(recalls, recalls[1:]))
+
+
+def test_plaintext_baseline_intact(sweep, benchmark):
+    assert sweep[0.0][0] > 0.6
+
+
+def test_full_adoption_blinds_most_detection(sweep, benchmark):
+    assert sweep[1.0][0] < 0.4
+    assert sweep[1.0][0] < sweep[0.0][0] / 2
+
+
+def test_encrypted_share_tracks_adoption(sweep, benchmark):
+    for adoption in ADOPTIONS:
+        __, encrypted, total = sweep[adoption]
+        # ad/analytics dominate the sensitive group, so the encrypted
+        # share loosely tracks the adoption knob.
+        if adoption == 0.0:
+            assert encrypted == 0
+        if adoption == 1.0:
+            assert encrypted / total > 0.6
+
+
+def test_report(sweep, benchmark):
+    lines = ["Extension — TLS adoption vs detection floor",
+             f"{'adoption':>9} {'recall%':>8} {'encrypted':>10}"]
+    for adoption in ADOPTIONS:
+        recall, encrypted, total = sweep[adoption]
+        lines.append(f"{adoption:>9.2f} {100 * recall:>8.1f} {encrypted:>6d}/{total}")
+    emit("extension_tls", "\n".join(lines))

@@ -1,0 +1,64 @@
+"""Fig 2 — cumulative frequency distribution of HTTP host destinations.
+
+Regenerates the destination fan-out CDF and asserts the published
+landmarks: ~7% single-destination, ~74% within 10, ~90% within 16, mean
+~7.9, maximum in the 80s (the embedded-browser app).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.dataset.stats import fanout_cdf, fanout_summary
+from repro.eval.report import render_fig2
+
+
+@pytest.fixture(scope="module")
+def summary(paper):
+    return fanout_summary(paper.trace)
+
+
+def test_mean_destinations(summary, benchmark):
+    assert summary.mean == pytest.approx(7.9, abs=1.2)
+
+
+def test_single_destination_fraction(summary, benchmark):
+    assert summary.single_fraction == pytest.approx(0.07, abs=0.03)
+
+
+def test_up_to_10_fraction(summary, benchmark):
+    assert summary.up_to_10_fraction == pytest.approx(0.74, abs=0.08)
+
+
+def test_up_to_16_fraction(summary, benchmark):
+    assert summary.up_to_16_fraction == pytest.approx(0.90, abs=0.05)
+
+
+def test_max_destinations_is_browser_app(summary, paper, benchmark):
+    assert 60 <= summary.max <= 100  # paper: 84
+    from repro.dataset.stats import destination_fanout
+
+    fanout = destination_fanout(paper.trace)
+    top_app = max(fanout, key=fanout.get)
+    browser_apps = {a.package for a in paper.apps if a.browser_services}
+    assert top_app in browser_apps
+
+
+def test_most_apps_multi_destination(summary, benchmark):
+    # paper: "93% of the applications ... connected to multiple destinations"
+    assert 1.0 - summary.single_fraction == pytest.approx(0.93, abs=0.04)
+
+
+def test_cdf_monotone(paper, benchmark):
+    points = fanout_cdf(paper.trace)
+    fractions = [f for __, f in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_render_fig2(paper, summary, benchmark):
+    emit("fig2", render_fig2(summary, fanout_cdf(paper.trace)))
+
+
+def test_bench_fanout_analysis(paper, benchmark):
+    """Performance: the full fan-out analysis over ~100k packets."""
+    benchmark.pedantic(lambda: fanout_summary(paper.trace), rounds=3, iterations=1)

@@ -1,0 +1,89 @@
+"""Fig 4 — detection rate of sensitive information leakage.
+
+The headline experiment: sample N suspicious packets (N = 100..500, the
+paper's sweep), cluster with the HTTP packet distance, generate conjunction
+signatures, re-apply to the entire dataset, and report TP/FN/FP using the
+paper's equations.
+
+Shape assertions (the substrate is synthetic, so absolute equality is not
+expected): TP high and rising with N toward the 90s, FN the complement and
+falling, FP in low single digits and not shrinking with N.
+Published landmarks: TP 85% -> 94%, FN 15% -> 5%, FP 0.3% -> 2.3%.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.pipeline import DetectionPipeline
+from repro.eval.experiments import Fig4Point, scaled_sweep
+from repro.eval.report import render_fig4
+
+
+@pytest.fixture(scope="module")
+def sweep(paper, paper_split):
+    suspicious, __ = paper_split
+    pipeline = DetectionPipeline(paper.trace, paper.payload_check())
+    sizes = scaled_sweep(len(suspicious))
+    points = []
+    for index, n in enumerate(sizes):
+        result = pipeline.run(n, seed=index)
+        points.append(
+            Fig4Point(
+                n_sample=result.n_sample,
+                tp_percent=result.metrics.tp_percent,
+                fn_percent=result.metrics.fn_percent,
+                fp_percent=result.metrics.fp_percent,
+                n_signatures=len(result.signatures),
+            )
+        )
+    return points
+
+
+def test_tp_reaches_paper_band(sweep, benchmark):
+    # paper: 94% at N=500. Require >= 88% at the largest N.
+    assert sweep[-1].tp_percent >= 88.0
+
+
+def test_tp_rises_with_n(sweep, benchmark):
+    assert sweep[-1].tp_percent >= sweep[0].tp_percent - 1.0
+    assert max(p.tp_percent for p in sweep) == pytest.approx(
+        sweep[-1].tp_percent, abs=6.0
+    )
+
+
+def test_fn_is_complement_and_falls(sweep, benchmark):
+    for point in sweep:
+        assert point.tp_percent + point.fn_percent == pytest.approx(100.0, abs=1.5)
+    assert sweep[-1].fn_percent <= sweep[0].fn_percent + 1.0
+    # paper: 5% at N=500
+    assert sweep[-1].fn_percent <= 12.0
+
+
+def test_fp_low_single_digits(sweep, benchmark):
+    for point in sweep:
+        assert point.fp_percent < 5.0  # paper tops out at 2.3%
+
+
+def test_fp_does_not_shrink_with_n(sweep, benchmark):
+    # paper: FP grows 0.3 -> 2.3 as signatures get more verbose.
+    assert sweep[-1].fp_percent >= sweep[0].fp_percent - 0.5
+
+
+def test_signature_counts_grow_with_n(sweep, benchmark):
+    assert sweep[-1].n_signatures >= sweep[0].n_signatures
+
+
+def test_render_fig4(sweep, benchmark):
+    emit("fig4", render_fig4(sweep))
+
+
+def test_bench_generation_at_n200(paper, paper_split, benchmark):
+    """Performance: one full generate() at N=200 (matrix + clustering +
+    token extraction)."""
+    from repro.core.server import SignatureServer
+
+    server = SignatureServer(paper.payload_check())
+    suspicious, normal = paper_split
+    server._suspicious = list(suspicious)
+    server._normal = list(normal)
+    benchmark.pedantic(lambda: server.generate(200, seed=9), rounds=1, iterations=1)

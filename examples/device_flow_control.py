@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The device-side information flow control app (paper Fig 3b), end to end.
+
+Simulates the full deployment loop:
+
+1. a collection server ingests one corpus and publishes signatures,
+2. a user's device fetches them into the flow-control app,
+3. live traffic is screened; the user answers prompts, and their
+   per-application decisions persist as policies.
+
+Run:  python examples/device_flow_control.py
+"""
+
+from repro import FlowControlApp, PolicyAction, SignatureServer, mini_corpus
+from repro.sensitive.payload_check import PayloadCheck
+
+
+def main() -> None:
+    # ---- server side -------------------------------------------------------
+    corpus = mini_corpus(seed=33, n_apps=100)
+    check = PayloadCheck(corpus.device.identity)
+    server = SignatureServer(check)
+    n_suspicious, n_normal = server.ingest(corpus.trace)
+    print(f"server: ingested {n_suspicious} suspicious / {n_normal} normal packets")
+    generation = server.generate(n_sample=100, seed=3)
+    published = server.publish(generation.signatures)
+    print(f"server: published {len(generation.signatures)} signatures "
+          f"({len(published)} bytes of JSON)\n")
+
+    # ---- device side --------------------------------------------------------
+    # The user's prompt behaviour: deny ad networks, allow everything else.
+    def user_prompt(packet, signature) -> bool:
+        domain = packet.destination.registered_domain
+        allow = not domain.startswith(("ad", "doubleclick"))
+        print(f"  [prompt] {packet.app_id} -> {domain} "
+              f"(signature: {signature.describe()[:60]}...) "
+              f"user says {'ALLOW' if allow else 'DENY'}")
+        return allow
+
+    device_app = FlowControlApp.fetch(published, prompt_handler=user_prompt)
+
+    # Screen a slice of live traffic.
+    print("device: screening live traffic (first 3 prompts shown)...")
+    prompts_shown = 0
+    for packet in corpus.trace:
+        flagged_before = device_app.prompt_count()
+        device_app.screen(packet)
+        if device_app.prompt_count() > flagged_before:
+            prompts_shown += 1
+            if prompts_shown == 3:
+                break
+
+    # The user gets tired of prompts for one noisy app and blocks it outright.
+    noisy_app = device_app.flagged()[-1].packet.app_id
+    device_app.policies.set_rule(noisy_app, PolicyAction.BLOCK)
+    print(f"\ndevice: user sets a BLOCK rule for {noisy_app}")
+
+    remaining = [p for p in corpus.trace if p.app_id == noisy_app]
+    for packet in remaining:
+        device_app.screen(packet)
+
+    flagged = device_app.flagged()
+    blocked = device_app.blocked()
+    print("\nsession summary:")
+    print(f"  decisions recorded : {len(device_app.history)}")
+    print(f"  transmissions flagged: {len(flagged)}")
+    print(f"  transmissions blocked: {len(blocked)}")
+    print(f"  prompts raised      : {device_app.prompt_count()}")
+    print("\nBlocked examples:")
+    for decision in blocked[:5]:
+        print(f"  {decision.packet.app_id} -> {decision.packet.host} "
+              f"[{decision.action.value}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce Fig 4 (the paper's headline experiment) at a chosen scale.
+
+Sweeps the signature-generation sample size N and reports TP/FN/FP over
+the full dataset, exactly as Section V-B defines them.  At the default
+scale (200 apps) this takes well under a minute; pass ``--full`` to run
+the paper-scale 1,188-app corpus (several minutes).
+
+Run:  python examples/fig4_sweep.py [--full] [--seed SEED]
+"""
+
+import argparse
+
+from repro import build_corpus
+from repro.eval.experiments import run_fig4_sweep, scaled_sweep
+from repro.eval.report import render_fig4
+from repro.sensitive.payload_check import PayloadCheck
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale corpus (1,188 apps)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n_apps = 1188 if args.full else 200
+    print(f"Building corpus: {n_apps} apps, seed {args.seed}...")
+    corpus = build_corpus(n_apps=n_apps, seed=args.seed)
+    check = PayloadCheck(corpus.device.identity)
+    suspicious, __ = check.split(corpus.trace)
+    print(f"  {len(corpus.trace)} packets, {len(suspicious)} sensitive")
+
+    sizes = scaled_sweep(len(suspicious))
+    print(f"  sweep sample sizes: {sizes}\n")
+    points = run_fig4_sweep(corpus.trace, check, sizes, seed=args.seed)
+    print(render_fig4(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: the full paper pipeline in fifty lines.
+
+Builds a small synthetic corpus (a scaled-down version of the paper's
+1,188-app dataset), runs the payload check, clusters a sample of the
+sensitive packets, generates conjunction signatures, and evaluates them
+against the entire dataset with the paper's TP/FN/FP equations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DetectionPipeline, mini_corpus
+
+def main() -> None:
+    print("Building a 120-app synthetic corpus (seed 7)...")
+    corpus = mini_corpus(seed=7, n_apps=120)
+    check = corpus.payload_check()
+    print(f"  {corpus.n_apps} apps, {len(corpus.trace)} HTTP packets captured")
+    print(f"  device identity: IMEI={corpus.device.identity.imei} "
+          f"ANDROID_ID={corpus.device.identity.android_id} "
+          f"carrier={corpus.device.identity.carrier}")
+
+    pipeline = DetectionPipeline(corpus.trace, check)
+    print(f"  payload check: {pipeline.n_suspicious} sensitive / "
+          f"{pipeline.n_normal} normal packets")
+
+    print("\nGenerating signatures from a sample of 80 sensitive packets...")
+    result = pipeline.run(n_sample=80, seed=1)
+    print(f"  {len(result.signatures)} conjunction signatures:")
+    for signature in result.signatures:
+        print(f"    {signature.describe()}")
+
+    m = result.metrics
+    print("\nDetection over the full dataset (paper Section V-B equations):")
+    print(f"  true positives : {m.tp_percent:5.1f}%   (paper reaches 94% at N=500)")
+    print(f"  false negatives: {m.fn_percent:5.1f}%   (paper: 5% at N=500)")
+    print(f"  false positives: {m.fp_percent:5.2f}%   (paper: <= 2.3%)")
+
+
+if __name__ == "__main__":
+    main()

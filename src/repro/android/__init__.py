@@ -1,0 +1,45 @@
+"""Simulated Android substrate.
+
+The paper's dataset comes from 1,188 real applications running on a Galaxy
+Nexus S; this package replaces the device and the application population
+with faithful models:
+
+- :mod:`repro.android.permissions` — the permission framework (Section II-B),
+- :mod:`repro.android.binder` — the Binder reference monitor,
+- :mod:`repro.android.device` — a device with its identifier providers,
+- :mod:`repro.android.admodules` — advertisement-module libraries with
+  per-network wire formats (the leak sources of Section III-B),
+- :mod:`repro.android.webapi` — benign Web-API and content services,
+- :mod:`repro.android.app` — the application model (manifest + behaviour),
+- :mod:`repro.android.market` — population sampling matching Table I.
+"""
+
+from repro.android.app import Application
+from repro.android.binder import Binder
+from repro.android.device import Device
+from repro.android.market import AppMarket
+from repro.android.risk import RiskLevel, assess, risk_level
+from repro.android.permissions import (
+    DANGEROUS_INFO_PERMISSIONS,
+    INTERNET,
+    Manifest,
+    Permission,
+    PermissionCategory,
+    classify_manifest,
+)
+
+__all__ = [
+    "Permission",
+    "PermissionCategory",
+    "Manifest",
+    "INTERNET",
+    "DANGEROUS_INFO_PERMISSIONS",
+    "classify_manifest",
+    "Binder",
+    "Device",
+    "Application",
+    "AppMarket",
+    "RiskLevel",
+    "assess",
+    "risk_level",
+]

@@ -1,0 +1,287 @@
+"""Application-population sampling (the paper's 1,188-app corpus).
+
+:class:`AppMarket` builds a population whose *permission mix* reproduces
+Table I exactly (scaled when a smaller corpus is requested) and whose
+*service adoption* hits the Table II "# Apps" targets in expectation.
+Structural features the paper reports are modelled explicitly:
+
+- ~7% of applications contact a single destination (Fig 2 low end) —
+  "loner" utility apps that only talk to their own backend;
+- one application embeds a browser and reaches 84 destinations (Fig 2
+  maximum);
+- a small fraction of developers send identifiers to their *own* servers,
+  which is why Table III counts far more leak destinations (75-94) than
+  there are ad networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.android.admodules import AD_SERVICES
+from repro.android.app import Application
+from repro.android.permissions import (
+    ACCESS_FINE_LOCATION,
+    ACCESS_NETWORK_STATE,
+    GET_ACCOUNTS,
+    INTERNET,
+    Manifest,
+    Permission,
+    READ_CONTACTS,
+    READ_PHONE_STATE,
+    VIBRATE,
+    WAKE_LOCK,
+    WRITE_EXTERNAL_STORAGE,
+)
+from repro.android.services import Service
+from repro.android.webapi import WEB_SERVICES, make_browser_service, make_own_backend
+from repro.errors import SimulationError
+from repro.sensitive.identifiers import IdentifierKind
+
+#: The reference population size (the paper's corpus).
+REFERENCE_APP_COUNT = 1188
+
+#: Table I rows (plus the combinations the table elides, reconstructed so
+#: the published 25% INTERNET-only / 61% dangerous proportions hold):
+#: (LOCATION, PHONE_STATE, CONTACTS) -> count out of 1,188.
+PERMISSION_ROWS: tuple[tuple[tuple[bool, bool, bool], int], ...] = (
+    ((False, False, False), 302),  # INTERNET only
+    ((True, False, False), 329),  # + LOCATION
+    ((True, True, False), 153),  # + LOCATION + PHONE_STATE
+    ((False, True, False), 148),  # + PHONE_STATE
+    ((True, True, True), 23),  # all four
+    ((False, False, True), 51),  # + CONTACTS      (not in the table)
+    ((False, True, True), 23),  # + PHONE + CONTACTS (not in the table)
+)
+#: Apps with INTERNET plus only benign permissions (1,188 minus the rows).
+BENIGN_EXTRA_COUNT = REFERENCE_APP_COUNT - sum(count for __, count in PERMISSION_ROWS)
+
+_BENIGN_POOL: tuple[Permission, ...] = (
+    ACCESS_NETWORK_STATE,
+    VIBRATE,
+    WAKE_LOCK,
+    WRITE_EXTERNAL_STORAGE,
+    GET_ACCOUNTS,
+)
+
+_NAME_STEMS: tuple[str, ...] = (
+    "puzzle", "camera", "weather", "manga", "recipe", "train", "news", "battery",
+    "alarm", "quiz", "diary", "coupon", "radio", "scanner", "wallpaper", "keyboard",
+    "horoscope", "fitness", "translate", "memo", "flashlight", "karaoke", "sns",
+    "racing", "mahjong", "pachinko", "stickers", "antivirus", "browserlite", "calc",
+)
+
+_CATEGORIES: tuple[str, ...] = (
+    "games", "entertainment", "tools", "lifestyle", "news", "social", "travel",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MarketConfig:
+    """Population-shape knobs.
+
+    :param n_apps: population size; service adoption and permission rows
+        scale proportionally from the 1,188 reference.
+    :param loner_fraction: share of apps with exactly one destination.
+    :param leaky_own_fraction: share of apps whose own backend receives an
+        identifier.
+    :param browser_app_count: apps embedding a free-roaming browser.
+    :param browser_site_range: how many sites a browser app visits.
+    :param extra_own_host_chance: chance a non-loner app has its own
+        backend at all.
+    """
+
+    n_apps: int = REFERENCE_APP_COUNT
+    loner_fraction: float = 0.035
+    leaky_own_fraction: float = 0.09
+    browser_app_count: int = 1
+    browser_site_range: tuple[int, int] = (74, 82)
+    extra_own_host_chance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1:
+            raise SimulationError("n_apps must be positive")
+        if not 0.0 <= self.loner_fraction < 1.0:
+            raise SimulationError("loner_fraction must be in [0, 1)")
+
+
+class AppMarket:
+    """Builds the application population.
+
+    :param config: population shape (defaults to the paper's corpus).
+    :param seed: RNG seed; the same seed yields the same population.
+    """
+
+    def __init__(self, config: MarketConfig | None = None, seed: int = 0) -> None:
+        self.config = config or MarketConfig()
+        self.seed = seed
+
+    def build(self) -> list[Application]:
+        """Sample the full population."""
+        rng = Random(self.seed)
+        n = self.config.n_apps
+        manifests = self._manifests(rng, n)
+        apps = [
+            Application(
+                package=self._package_name(i, rng),
+                manifest=manifests[i],
+                category=rng.choice(_CATEGORIES),
+            )
+            for i in range(n)
+        ]
+        self._assign_structure(apps, rng)
+        return apps
+
+    # -- permission mix (Table I) ---------------------------------------------
+
+    def _manifests(self, rng: Random, n: int) -> list[Manifest]:
+        scale = n / REFERENCE_APP_COUNT
+        rows: list[tuple[bool, bool, bool]] = []
+        for flags, count in PERMISSION_ROWS:
+            rows.extend([flags] * max(0, round(count * scale)))
+        while len(rows) < n:
+            rows.append((False, False, False))
+        del rows[n:]
+        rng.shuffle(rows)
+        manifests: list[Manifest] = []
+        benign_budget = round(BENIGN_EXTRA_COUNT * scale)
+        for i, (location, phone, contacts) in enumerate(rows):
+            permissions: set[Permission] = {INTERNET}
+            if location:
+                permissions.add(ACCESS_FINE_LOCATION)
+            if phone:
+                permissions.add(READ_PHONE_STATE)
+            if contacts:
+                permissions.add(READ_CONTACTS)
+            # The INTERNET-only surplus beyond Table I's 302 carries benign
+            # extras (so it does not inflate the strict INTERNET-only row);
+            # the remaining plain rows stay exactly {INTERNET}.
+            is_plain = not (location or phone or contacts)
+            if is_plain:
+                if benign_budget > 0:
+                    permissions.add(rng.choice(_BENIGN_POOL))
+                    benign_budget -= 1
+            else:
+                for permission in _BENIGN_POOL:
+                    if rng.random() < 0.25:
+                        permissions.add(permission)
+            manifests.append(Manifest(package=f"pending{i}", permissions=frozenset(permissions)))
+        return manifests
+
+    # -- structure: services, backends, browsers -------------------------------
+
+    def _assign_structure(self, apps: list[Application], rng: Random) -> None:
+        n = len(apps)
+        scale = n / REFERENCE_APP_COUNT
+        indices = list(range(n))
+        rng.shuffle(indices)
+        n_loners = round(self.config.loner_fraction * n)
+        loners = set(indices[:n_loners])
+        browser_apps = set(indices[n_loners : n_loners + self.config.browser_app_count])
+
+        # Shared-service adoption.  Apps have lognormal "integration
+        # appetite" weights, so popular feature-heavy apps embed many
+        # services — that correlation is what gives Fig 2 its heavy tail
+        # (10% of the paper's apps exceed 16 destinations).  Services whose
+        # wire format reads phone-state-gated identifiers are biased toward
+        # apps declaring READ_PHONE_STATE: real SDK integration guides
+        # require the permission, so developers who embed them declare it.
+        eligible = [i for i in range(n) if i not in loners]
+        appetite = {i: math.exp(rng.gauss(0.0, 1.05)) for i in eligible}
+        shared_specs = list(AD_SERVICES) + list(WEB_SERVICES)
+        for spec in shared_specs:
+            target = min(len(eligible), max(1, round(spec.adoption_target * scale)))
+            service = Service(spec)
+            weights: list[float] = []
+            for i in eligible:
+                weight = appetite[i]
+                if _wants_phone_state(spec) and apps[i].manifest.holds(READ_PHONE_STATE):
+                    weight *= 8.0
+                weights.append(weight)
+            for i in _weighted_sample(rng, eligible, weights, target):
+                apps[i].services.append(service)
+
+        # Own backends and embedded browsers.
+        browser_site_counter = 0
+        for i, app in enumerate(apps):
+            # Fix the placeholder manifest package to the real name.
+            app.manifest = Manifest(package=app.package, permissions=app.manifest.permissions)
+            if i in loners:
+                app.own_services.append(_single_host_backend(app.package, rng))
+                continue
+            if rng.random() < self.config.extra_own_host_chance:
+                leaky = rng.random() < self.config.leaky_own_fraction
+                app.own_services.append(make_own_backend(app.package, rng, leaky=leaky))
+            if i in browser_apps:
+                low, high = self.config.browser_site_range
+                for __ in range(rng.randint(low, high)):
+                    app.browser_services.append(make_browser_service(browser_site_counter, rng))
+                    browser_site_counter += 1
+
+    def _package_name(self, index: int, rng: Random) -> str:
+        # Diverse reverse-domain prefixes, as on the real Play store — a
+        # uniform prefix would itself become an invariant token shared by
+        # every packet that transmits the package name.
+        prefix = rng.choice(("jp.co", "jp.ne", "com", "net", "org", "mobi", "air.jp"))
+        developer = rng.choice(("soft", "labo", "studio", "works", "apps", "game", "dev"))
+        stem = _NAME_STEMS[index % len(_NAME_STEMS)]
+        return f"{prefix}.{developer}{index:04d}.{stem}"
+
+
+#: Identifier kinds readable only with READ_PHONE_STATE.
+_PHONE_GATED = {IdentifierKind.IMEI, IdentifierKind.IMSI, IdentifierKind.SIM_SERIAL, IdentifierKind.CARRIER}
+
+
+def _wants_phone_state(spec) -> bool:
+    """Whether any template of a service reads a phone-state identifier."""
+    for template in spec.templates:
+        for params in (template.query, template.body, template.cookies):
+            for param in params:
+                if param.identifier in _PHONE_GATED:
+                    return True
+    return False
+
+
+def _weighted_sample(rng: Random, population: list[int], weights: list[float], k: int) -> list[int]:
+    """``k`` distinct items sampled with probability proportional to weight."""
+    chosen: list[int] = []
+    items = list(population)
+    current = list(weights)
+    for __ in range(min(k, len(items))):
+        total = sum(current)
+        point = rng.random() * total
+        cumulative = 0.0
+        picked = len(items) - 1
+        for idx, weight in enumerate(current):
+            cumulative += weight
+            if point <= cumulative:
+                picked = idx
+                break
+        chosen.append(items.pop(picked))
+        current.pop(picked)
+    return chosen
+
+
+def _single_host_backend(package: str, rng: Random) -> Service:
+    """A one-host backend for loner apps (forces exactly one destination)."""
+    backend = make_own_backend(package, rng, leaky=False)
+    if len(backend.spec.hosts) == 1:
+        return backend
+    # Rebuild with only the primary host and its templates.
+    from repro.android.services import ServiceSpec  # local import to avoid cycle noise
+
+    spec = backend.spec
+    templates = tuple(t for t in spec.templates if t.host_index == 0)
+    single = ServiceSpec(
+        name=spec.name,
+        category=spec.category,
+        hosts=spec.hosts[:1],
+        ip_base=spec.ip_base,
+        ip_prefix=spec.ip_prefix,
+        templates=templates,
+        adoption_target=spec.adoption_target,
+        packets_per_app=spec.packets_per_app,
+    )
+    return Service(single)

@@ -1,0 +1,154 @@
+"""The Android permission framework (paper Section II-B, Table I).
+
+Android API level 15 defines 125 permissions; the paper's analysis cares
+about four groups: ``INTERNET``, location, phone state, and contacts.  We
+model a representative registry (the sensitive ones exactly, plus the
+common benign ones apps of the era requested) and the manifest analysis
+that produces Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PermissionCategory(enum.Enum):
+    """Coarse grouping used by the paper's problem analysis."""
+
+    NETWORK = "network"
+    LOCATION = "location"
+    PHONE_STATE = "phone_state"
+    CONTACTS = "contacts"
+    BENIGN = "benign"
+
+
+@dataclass(frozen=True, slots=True)
+class Permission:
+    """One manifest permission.
+
+    :param name: the ``android.permission.*`` constant (short form).
+    :param category: coarse category for the Table I analysis.
+    :param protection: Android protection level (``normal``/``dangerous``).
+    """
+
+    name: str
+    category: PermissionCategory
+    protection: str = "dangerous"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# -- the permissions the paper's analysis distinguishes ----------------------
+
+INTERNET = Permission("INTERNET", PermissionCategory.NETWORK)
+ACCESS_FINE_LOCATION = Permission("ACCESS_FINE_LOCATION", PermissionCategory.LOCATION)
+ACCESS_COARSE_LOCATION = Permission("ACCESS_COARSE_LOCATION", PermissionCategory.LOCATION)
+READ_PHONE_STATE = Permission("READ_PHONE_STATE", PermissionCategory.PHONE_STATE)
+READ_CONTACTS = Permission("READ_CONTACTS", PermissionCategory.CONTACTS)
+
+# -- common benign permissions (do not gate sensitive information) ----------
+
+ACCESS_NETWORK_STATE = Permission("ACCESS_NETWORK_STATE", PermissionCategory.BENIGN, "normal")
+VIBRATE = Permission("VIBRATE", PermissionCategory.BENIGN, "normal")
+WAKE_LOCK = Permission("WAKE_LOCK", PermissionCategory.BENIGN, "normal")
+WRITE_EXTERNAL_STORAGE = Permission("WRITE_EXTERNAL_STORAGE", PermissionCategory.BENIGN)
+CAMERA = Permission("CAMERA", PermissionCategory.BENIGN)
+RECORD_AUDIO = Permission("RECORD_AUDIO", PermissionCategory.BENIGN)
+GET_ACCOUNTS = Permission("GET_ACCOUNTS", PermissionCategory.BENIGN)
+RECEIVE_BOOT_COMPLETED = Permission("RECEIVE_BOOT_COMPLETED", PermissionCategory.BENIGN, "normal")
+
+#: All registered permissions, keyed by name.
+REGISTRY: dict[str, Permission] = {
+    p.name: p
+    for p in (
+        INTERNET,
+        ACCESS_FINE_LOCATION,
+        ACCESS_COARSE_LOCATION,
+        READ_PHONE_STATE,
+        READ_CONTACTS,
+        ACCESS_NETWORK_STATE,
+        VIBRATE,
+        WAKE_LOCK,
+        WRITE_EXTERNAL_STORAGE,
+        CAMERA,
+        RECORD_AUDIO,
+        GET_ACCOUNTS,
+        RECEIVE_BOOT_COMPLETED,
+    )
+}
+
+#: Permissions granting access to the sensitive information of Section III-A.
+DANGEROUS_INFO_PERMISSIONS: frozenset[PermissionCategory] = frozenset(
+    {
+        PermissionCategory.LOCATION,
+        PermissionCategory.PHONE_STATE,
+        PermissionCategory.CONTACTS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """An application's declared permission set.
+
+    :param package: the application package name.
+    :param permissions: the requested permissions.
+    """
+
+    package: str
+    permissions: frozenset[Permission] = field(default_factory=frozenset)
+
+    def holds(self, permission: Permission) -> bool:
+        return permission in self.permissions
+
+    def holds_category(self, category: PermissionCategory) -> bool:
+        return any(p.category is category for p in self.permissions)
+
+    @property
+    def has_internet(self) -> bool:
+        return self.holds(INTERNET)
+
+    @property
+    def is_dangerous_combination(self) -> bool:
+        """INTERNET plus at least one sensitive-information permission —
+        the 61% class of the paper's Table I."""
+        if not self.has_internet:
+            return False
+        return any(self.holds_category(c) for c in DANGEROUS_INFO_PERMISSIONS)
+
+
+def classify_manifest(manifest: Manifest) -> tuple[bool, bool, bool, bool]:
+    """Table I row key: (INTERNET, LOCATION, PHONE_STATE, CONTACTS) flags."""
+    return (
+        manifest.has_internet,
+        manifest.holds_category(PermissionCategory.LOCATION),
+        manifest.holds_category(PermissionCategory.PHONE_STATE),
+        manifest.holds_category(PermissionCategory.CONTACTS),
+    )
+
+
+def table1_counts(manifests: list[Manifest]) -> dict[tuple[bool, bool, bool, bool], int]:
+    """Histogram of Table I row keys over an application population."""
+    counts: dict[tuple[bool, bool, bool, bool], int] = {}
+    for manifest in manifests:
+        key = classify_manifest(manifest)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def is_internet_only(manifest: Manifest) -> bool:
+    """The paper's strict "require only the INTERNET permission" class.
+
+    Table I's 302-app top row counts manifests whose *entire* permission
+    set is ``{INTERNET}`` — an app with INTERNET plus a benign permission
+    (VIBRATE, WAKE_LOCK ...) is not in it, even though it shares the same
+    four-flag row key.
+    """
+    return manifest.permissions == frozenset({INTERNET})
+
+
+def internet_only_count(manifests: list[Manifest]) -> int:
+    """Number of strictly-INTERNET-only manifests (Table I top row)."""
+    return sum(1 for manifest in manifests if is_internet_only(manifest))

@@ -1,0 +1,24 @@
+"""Comparison baselines for the signature detector.
+
+The paper argues signatures beat naive approaches; these baselines make
+that argument testable:
+
+- :class:`repro.baselines.keyword.KeywordDetector` — hand-written regexes
+  over parameter names and identifier shapes (what a mitmproxy-script
+  style detector does),
+- :class:`repro.baselines.exactmatch.ExactMatchDetector` — memorize the
+  training packets, flag only byte-identical recurrences,
+- :mod:`repro.baselines.variants` — distance ablations (destination-only,
+  content-only) of the paper's own pipeline.
+"""
+
+from repro.baselines.exactmatch import ExactMatchDetector
+from repro.baselines.keyword import KeywordDetector
+from repro.baselines.variants import ablation_config, run_variant
+
+__all__ = [
+    "KeywordDetector",
+    "ExactMatchDetector",
+    "ablation_config",
+    "run_variant",
+]

@@ -1,0 +1,98 @@
+"""The keyword/regex baseline detector.
+
+Represents the pre-existing practice the paper implicitly competes with: a
+hand-maintained list of suspicious parameter names and identifier *shapes*.
+Three escalation modes expose the trade-off the signature approach
+escapes:
+
+- ``conservative`` — named parameters plus unambiguous value syntaxes
+  (15-digit IMEI/IMSI, ``89``-prefixed ICCID, carrier names).  Low false
+  positives, but blind to identifiers behind innocuous parameter names
+  (``dtk``, ``cid``, ``um`` ...) and to hashed values.
+- ``standard`` — adds the 16-hex Android-ID *shape*.  Catches unnamed
+  plain Android IDs but collides with every 16-hex session token.
+- ``aggressive`` — adds MD5/SHA1 hex shapes.  Catches hashed identifiers
+  but flags essentially every request carrying a random token.
+
+The benches quantify all three against the clustering signatures, which
+achieve the recall of ``aggressive`` at false-positive rates below
+``conservative``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.http.packet import HttpPacket
+
+#: Parameter names ad SDKs historically used for device identifiers.
+SUSPICIOUS_KEYS: tuple[str, ...] = (
+    "imei", "imsi", "udid", "uuid", "deviceid", "device_id", "androidid",
+    "android_id", "iccid", "auid", "dvid",
+)
+
+#: Unambiguous raw-identifier value syntaxes.
+_STRICT_VALUE_PATTERNS: tuple[str, ...] = (
+    r"\b\d{15}\b",  # IMEI / IMSI
+    r"\b89\d{17}\b",  # ICCID (SIM serial)
+)
+
+#: The Android-ID shape — 16 hex chars, which random session tokens mimic.
+_ANDROID_ID_SHAPE = r"\b[0-9a-f]{16}\b"
+
+#: Hash digest shapes — what every MD5/SHA1 (and most tokens) look like.
+_HASH_PATTERNS: tuple[str, ...] = (
+    r"\b[0-9a-f]{32}\b",  # MD5
+    r"\b[0-9a-f]{40}\b",  # SHA1
+)
+
+_CARRIER_NAMES: tuple[str, ...] = ("docomo", "softbank", "kddi", "emobile", "willcom")
+
+MODES: tuple[str, ...] = ("conservative", "standard", "aggressive")
+
+
+class KeywordDetector:
+    """Regex screening over packet content.
+
+    :param mode: escalation level (see module docstring).
+    :raises ValueError: for an unknown mode.
+    """
+
+    def __init__(self, mode: str = "conservative") -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        self.mode = mode
+        key_alternatives = "|".join(re.escape(k) for k in SUSPICIOUS_KEYS)
+        patterns = [
+            # suspicious key with a non-trivial value
+            rf"[?&;\s]({key_alternatives})=[^&\s;]{{6,}}",
+            *_STRICT_VALUE_PATTERNS,
+            *(re.escape(c) for c in _CARRIER_NAMES),
+        ]
+        if mode in ("standard", "aggressive"):
+            patterns.append(_ANDROID_ID_SHAPE)
+        if mode == "aggressive":
+            patterns.extend(_HASH_PATTERNS)
+        self._regex = re.compile("|".join(f"(?:{p})" for p in patterns), re.IGNORECASE)
+
+    def is_sensitive(self, packet: HttpPacket) -> bool:
+        """Whether any pattern matches the packet's inspected content."""
+        return bool(self._regex.search(packet.canonical_text()))
+
+    def screen(self, packets: Iterable[HttpPacket]) -> list[bool]:
+        return [self.is_sensitive(packet) for packet in packets]
+
+    def evaluate(
+        self, suspicious: Sequence[HttpPacket], normal: Sequence[HttpPacket]
+    ) -> tuple[float, float]:
+        """``(detection rate, false positive rate)`` over labeled groups.
+
+        No training sample exists, so the rates are plain fractions (the
+        paper's N-corrections do not apply to this baseline).
+        """
+        detected = sum(1 for p in suspicious if self.is_sensitive(p))
+        false_alarms = sum(1 for p in normal if self.is_sensitive(p))
+        tp = detected / len(suspicious) if suspicious else 0.0
+        fp = false_alarms / len(normal) if normal else 0.0
+        return tp, fp

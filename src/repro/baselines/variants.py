@@ -1,0 +1,72 @@
+"""Distance and linkage ablations of the paper's own pipeline.
+
+The paper motivates combining destination and content distances ("this
+broader definition causes results sent to the same server to be clustered
+together, creating advertisement module specific signatures").  These
+helpers run the identical pipeline with one side of the metric switched
+off, or a different linkage/compressor, so the ablation benches can
+quantify the claim.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.linkage import Linkage
+from repro.core.pipeline import DetectionPipeline, PipelineConfig, PipelineResult
+from repro.dataset.trace import Trace
+from repro.distance.ncd import Compressor
+from repro.distance.packet import PacketDistance
+from repro.errors import ReproError
+from repro.sensitive.payload_check import PayloadCheck
+
+#: Named ablation variants.
+VARIANTS: tuple[str, ...] = (
+    "paper",  # d_dst + d_header, group average, zlib
+    "destination_only",  # d_dst alone
+    "content_only",  # d_header alone
+    "whois",  # registration-verified IP distance (paper §VI suggestion)
+    "single_linkage",
+    "complete_linkage",
+    "ward_linkage",
+    "bz2",
+    "lzma",
+)
+
+
+def ablation_config(variant: str) -> PipelineConfig:
+    """The pipeline configuration for a named variant.
+
+    :raises ReproError: for an unknown variant name.
+    """
+    if variant == "paper":
+        return PipelineConfig()
+    if variant == "destination_only":
+        return PipelineConfig(distance=PacketDistance.destination_only())
+    if variant == "content_only":
+        return PipelineConfig(distance=PacketDistance.content_only())
+    if variant == "whois":
+        from repro.net.registry import build_corpus_registry
+
+        return PipelineConfig(distance=PacketDistance.whois_verified(build_corpus_registry()))
+    if variant == "single_linkage":
+        return PipelineConfig(linkage=Linkage.SINGLE)
+    if variant == "complete_linkage":
+        return PipelineConfig(linkage=Linkage.COMPLETE)
+    if variant == "ward_linkage":
+        return PipelineConfig(linkage=Linkage.WARD)
+    if variant == "bz2":
+        return PipelineConfig(distance=PacketDistance.paper(Compressor.BZ2))
+    if variant == "lzma":
+        return PipelineConfig(distance=PacketDistance.paper(Compressor.LZMA))
+    raise ReproError(f"unknown ablation variant {variant!r}; choose from {VARIANTS}")
+
+
+def run_variant(
+    trace: Trace,
+    payload_check: PayloadCheck,
+    variant: str,
+    n_sample: int,
+    seed: int = 0,
+) -> PipelineResult:
+    """Run one full generation + evaluation under a named variant."""
+    pipeline = DetectionPipeline(trace, payload_check, ablation_config(variant))
+    return pipeline.run(n_sample, seed=seed)

@@ -1,0 +1,288 @@
+"""Command-line interface: the paper's workflow as shell commands.
+
+::
+
+    repro corpus  --apps 300 --seed 0 --out trace.jsonl --identity id.json
+    repro label   --trace trace.jsonl --identity id.json
+    repro generate --trace trace.jsonl --identity id.json \
+                   --sample 200 --out signatures.json
+    repro screen  --trace trace.jsonl --signatures signatures.json \
+                   [--identity id.json]
+    repro analyze --trace trace.jsonl --identity id.json \
+                   --signatures signatures.json
+    repro redact  --trace trace.jsonl --identity id.json --out clean.jsonl
+    repro risk    --apps 300 --seed 0 --top 10
+    repro export  --signatures signatures.json --format snort --out leaks.rules
+    repro report  --apps 300 --seed 0
+    repro fig4    --apps 300 --seed 0
+
+Trace paths ending in ``.gz`` are read/written gzip-compressed.
+Every command is pure computation over files — no network, no device.
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.dataset.stats import destination_table, fanout_cdf, fanout_summary, sensitive_table
+from repro.dataset.trace import Trace
+from repro.eval.metrics import compute_metrics
+from repro.sensitive.identifiers import DeviceIdentity
+from repro.sensitive.payload_check import PayloadCheck
+from repro.signatures.matcher import SignatureMatcher
+from repro.signatures.store import SignatureStore
+from repro.simulation.corpus import build_corpus
+
+
+def _load_identity(path: str) -> DeviceIdentity:
+    return DeviceIdentity.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    corpus.trace.save_jsonl(args.out)
+    Path(args.identity).write_text(
+        json.dumps(corpus.device.identity.to_dict(), indent=2), encoding="utf-8"
+    )
+    print(f"wrote {len(corpus.trace)} packets from {corpus.n_apps} apps to {args.out}")
+    print(f"wrote device identity to {args.identity}")
+    return 0
+
+
+def cmd_label(args: argparse.Namespace) -> int:
+    trace = Trace.load_jsonl(args.trace)
+    check = PayloadCheck(_load_identity(args.identity))
+    suspicious, normal = check.split(trace)
+    print(f"packets   : {len(trace)}")
+    print(f"suspicious: {len(suspicious)} ({100 * len(suspicious) / len(trace):.1f}%)")
+    print(f"normal    : {len(normal)}")
+    rows = sensitive_table(trace, check)
+    print(f"\n{'identifier':<18} {'pkts':>7} {'apps':>5} {'dests':>6}")
+    for row in sorted(rows, key=lambda r: -r.packets):
+        print(f"{row.label:<18} {row.packets:>7d} {row.apps:>5d} {row.destinations:>6d}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.server import SignatureServer
+
+    trace = Trace.load_jsonl(args.trace)
+    check = PayloadCheck(_load_identity(args.identity))
+    server = SignatureServer(check)
+    n_suspicious, __ = server.ingest(trace)
+    if not n_suspicious:
+        print("no sensitive packets found; nothing to generate", file=sys.stderr)
+        return 1
+    result = server.generate(args.sample, seed=args.seed)
+    SignatureStore.save(result.signatures, args.out)
+    print(f"clustered {len(result.sample)} packets -> {len(result.signatures)} signatures")
+    for signature in result.signatures:
+        print(f"  {signature.describe()}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_screen(args: argparse.Namespace) -> int:
+    trace = Trace.load_jsonl(args.trace)
+    signatures = SignatureStore.load(args.signatures)
+    matcher = SignatureMatcher(signatures)
+    flagged = [p for p in trace if matcher.is_sensitive(p)]
+    print(f"screened {len(trace)} packets with {len(signatures)} signatures")
+    print(f"flagged  {len(flagged)} ({100 * len(flagged) / max(1, len(trace)):.1f}%)")
+    if args.identity:
+        check = PayloadCheck(_load_identity(args.identity))
+        suspicious, normal = check.split(trace)
+        n_sample = min(args.sample, len(suspicious) - 1)
+        metrics = compute_metrics(matcher, suspicious, normal, n_sample=max(0, n_sample))
+        print(
+            f"vs ground truth: TP {metrics.tp_percent:.1f}%  "
+            f"FN {metrics.fn_percent:.1f}%  FP {metrics.fp_percent:.2f}%"
+        )
+    by_app: dict[str, int] = {}
+    for packet in flagged:
+        by_app[packet.app_id] = by_app.get(packet.app_id, 0) + 1
+    print("\ntop flagged applications:")
+    for app, count in sorted(by_app.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"  {app:<32} {count}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.signatures.analysis import (
+        coverage_by_label,
+        expected_prompt_rate,
+        render_coverage,
+        verbosity_report,
+    )
+
+    trace = Trace.load_jsonl(args.trace)
+    check = PayloadCheck(_load_identity(args.identity))
+    signatures = SignatureStore.load(args.signatures)
+    suspicious, normal = check.split(trace)
+    print(render_coverage(coverage_by_label(signatures, suspicious, check)))
+    print(f"\nexpected prompt rate on clean traffic: "
+          f"{100 * expected_prompt_rate(signatures, normal):.2f}%")
+    risky = [r for r in verbosity_report(signatures) if r.risky]
+    if risky:
+        print("\nrisky (short, unscoped) signatures:")
+        for report in risky:
+            print(f"  {report.signature.describe()}")
+    else:
+        print("no match-everything-risk signatures found")
+    return 0
+
+
+def cmd_redact(args: argparse.Namespace) -> int:
+    from repro.dataset.redact import TraceRedactor
+
+    trace = Trace.load_jsonl(args.trace)
+    redactor = TraceRedactor(_load_identity(args.identity))
+    clean = redactor.redact_trace(trace)
+    assert redactor.verify_clean(clean)
+    clean.save_jsonl(args.out)
+    print(f"redacted {len(trace)} packets -> {args.out} (verified clean)")
+    return 0
+
+
+def cmd_risk(args: argparse.Namespace) -> int:
+    from repro.android.risk import rank_population, summarize
+
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    histogram = summarize(corpus.apps)
+    print("static permission risk (paper Section III-A):")
+    for level, count in histogram.items():
+        print(f"  {level.name:<9} {count:>5d}")
+    print("\nmost dangerous applications:")
+    for assessment in rank_population(corpus.apps)[: args.top]:
+        print(f"  {assessment.package:<34} {assessment.level.name}")
+        for reason in assessment.reasons:
+            print(f"      - {reason}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.signatures.export import to_mitmproxy_script, to_snort_rules
+
+    signatures = SignatureStore.load(args.signatures)
+    if args.format == "mitmproxy":
+        output = to_mitmproxy_script(signatures)
+    else:
+        output = to_snort_rules(signatures)
+    Path(args.out).write_text(output, encoding="utf-8")
+    print(f"exported {len(signatures)} signatures as {args.format} -> {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_fig2, render_table1, render_table2, render_table3
+
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    check = corpus.payload_check()
+    scale = corpus.n_apps / 1188
+    print(render_table1(corpus.apps))
+    print()
+    print(render_table2(destination_table(corpus.trace), scale=scale))
+    print()
+    print(render_table3(sensitive_table(corpus.trace, check), scale=scale))
+    print()
+    print(render_fig2(fanout_summary(corpus.trace), fanout_cdf(corpus.trace)))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import run_fig4_sweep, scaled_sweep
+    from repro.eval.report import render_fig4
+
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    check = corpus.payload_check()
+    suspicious, __ = check.split(corpus.trace)
+    sizes = scaled_sweep(len(suspicious))
+    points = run_fig4_sweep(corpus.trace, check, sizes, seed=args.seed)
+    print(render_fig4(points))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Signature generation for sensitive information leakage "
+        "in Android application HTTP traffic (Kuzuno & Tonami 2013, reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="build a synthetic corpus and save the trace")
+    p.add_argument("--apps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.jsonl")
+    p.add_argument("--identity", default="identity.json")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("label", help="payload-check a trace (Table III view)")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--identity", required=True)
+    p.set_defaults(func=cmd_label)
+
+    p = sub.add_parser("generate", help="cluster sensitive packets, emit signatures")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--identity", required=True)
+    p.add_argument("--sample", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="signatures.json")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("screen", help="screen a trace against a signature set")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--signatures", required=True)
+    p.add_argument("--identity", default="", help="optional ground truth for metrics")
+    p.add_argument("--sample", type=int, default=200, help="N used for the metric correction")
+    p.set_defaults(func=cmd_screen)
+
+    p = sub.add_parser("risk", help="static permission-risk ranking of a corpus")
+    p.add_argument("--apps", type=int, default=120)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_risk)
+
+    p = sub.add_parser("export", help="export signatures for external tools")
+    p.add_argument("--signatures", required=True)
+    p.add_argument("--format", choices=("mitmproxy", "snort"), default="mitmproxy")
+    p.add_argument("--out", default="signatures_export.txt")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("analyze", help="signature-set quality analytics")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--identity", required=True)
+    p.add_argument("--signatures", required=True)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("redact", help="scrub identifiers from a trace for sharing")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--identity", required=True)
+    p.add_argument("--out", default="trace.redacted.jsonl")
+    p.set_defaults(func=cmd_redact)
+
+    p = sub.add_parser("report", help="render Tables I-III and Fig 2 for a corpus")
+    p.add_argument("--apps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("fig4", help="run the Fig 4 detection sweep")
+    p.add_argument("--apps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig4)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

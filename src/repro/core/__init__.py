@@ -1,0 +1,24 @@
+"""The paper's system: server-side generation and device-side control.
+
+- :class:`repro.core.server.SignatureServer` — Fig 3(a): collect traffic,
+  payload-check it, cluster the sensitive packets, generate signatures.
+- :class:`repro.core.flowcontrol.FlowControlApp` — Fig 3(b): fetch the
+  signature set and screen other applications' outgoing requests.
+- :mod:`repro.core.pipeline` — convenience wiring for experiments.
+"""
+
+from repro.core.flowcontrol import Decision, FlowControlApp, PolicyAction
+from repro.core.incremental import IncrementalSignatureSet
+from repro.core.pipeline import DetectionPipeline, PipelineConfig
+from repro.core.server import ServerConfig, SignatureServer
+
+__all__ = [
+    "SignatureServer",
+    "ServerConfig",
+    "FlowControlApp",
+    "PolicyAction",
+    "Decision",
+    "DetectionPipeline",
+    "PipelineConfig",
+    "IncrementalSignatureSet",
+]

@@ -1,0 +1,137 @@
+"""The device-side information flow control application (paper Fig 3b).
+
+"The information flow control application inspects network traffic using
+the Android API and detects sensitive information leakage using the ...
+server generated signatures.  It does not require any special privileges."
+
+The app fetches a published signature set, screens every outgoing request
+of other applications, and — on a signature hit — consults the user's
+per-application policy: prompt (default), always allow, or always block.
+This is the "fine grained manner" of managing suspicious network behaviour
+the paper's introduction promises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.http.packet import HttpPacket
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.matcher import SignatureMatcher
+from repro.signatures.store import SignatureStore
+
+
+class PolicyAction(enum.Enum):
+    """What to do when a signature fires for an application."""
+
+    PROMPT = "prompt"  # ask the user (default)
+    ALLOW = "allow"  # user accepted this app's transmissions
+    BLOCK = "block"  # user forbade them
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """The outcome of screening one packet.
+
+    :param packet: the screened packet.
+    :param transmitted: whether the packet was let through.
+    :param flagged: whether any signature matched.
+    :param action: the policy action applied (ALLOW for clean packets).
+    :param signature: the matching signature, if any.
+    """
+
+    packet: HttpPacket
+    transmitted: bool
+    flagged: bool
+    action: PolicyAction
+    signature: ConjunctionSignature | None = None
+
+
+@dataclass
+class PolicyStore:
+    """Per-(application, destination domain) user decisions.
+
+    A rule for ``(app, "")`` applies to all the app's destinations; the
+    more specific ``(app, domain)`` rule wins.
+    """
+
+    rules: dict[tuple[str, str], PolicyAction] = field(default_factory=dict)
+
+    def set_rule(self, app_id: str, action: PolicyAction, domain: str = "") -> None:
+        self.rules[(app_id, domain)] = action
+
+    def lookup(self, app_id: str, domain: str) -> PolicyAction:
+        specific = self.rules.get((app_id, domain))
+        if specific is not None:
+            return specific
+        return self.rules.get((app_id, ""), PolicyAction.PROMPT)
+
+
+class FlowControlApp:
+    """Screens outgoing traffic against a fetched signature set.
+
+    :param signatures: the signature set (from ``SignatureServer.publish``
+        or a prior :class:`~repro.signatures.store.SignatureStore` file).
+    :param prompt_handler: callback deciding a PROMPT — receives the packet
+        and the matching signature, returns ``True`` to transmit.  Defaults
+        to denying (safe default while the user is absent).
+    """
+
+    def __init__(
+        self,
+        signatures: list[ConjunctionSignature],
+        prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
+    ) -> None:
+        self.matcher = SignatureMatcher(signatures)
+        self.policies = PolicyStore()
+        self.prompt_handler = prompt_handler or (lambda packet, signature: False)
+        self.history: list[Decision] = []
+
+    @classmethod
+    def fetch(
+        cls,
+        published: str,
+        prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
+    ) -> "FlowControlApp":
+        """Construct from a published (serialized) signature document."""
+        return cls(SignatureStore.loads(published), prompt_handler)
+
+    def screen(self, packet: HttpPacket) -> Decision:
+        """Screen one outgoing packet and record the decision."""
+        result = self.matcher.match(packet)
+        if not result.matched:
+            decision = Decision(
+                packet=packet, transmitted=True, flagged=False, action=PolicyAction.ALLOW
+            )
+        else:
+            action = self.policies.lookup(packet.app_id, packet.destination.registered_domain)
+            if action is PolicyAction.ALLOW:
+                transmitted = True
+            elif action is PolicyAction.BLOCK:
+                transmitted = False
+            else:
+                transmitted = self.prompt_handler(packet, result.signature)
+            decision = Decision(
+                packet=packet,
+                transmitted=transmitted,
+                flagged=True,
+                action=action,
+                signature=result.signature,
+            )
+        self.history.append(decision)
+        return decision
+
+    def blocked(self) -> list[Decision]:
+        """Decisions where a transmission was suppressed."""
+        return [d for d in self.history if not d.transmitted]
+
+    def flagged(self) -> list[Decision]:
+        """Decisions where a signature fired (regardless of outcome)."""
+        return [d for d in self.history if d.flagged]
+
+    def prompt_count(self) -> int:
+        """How many times the user was interrupted — the paper's
+        false-positive usability concern in one number."""
+        return sum(1 for d in self.history if d.flagged and d.action is PolicyAction.PROMPT)

@@ -1,0 +1,120 @@
+"""The signature-generation server (paper Fig 3a, Sections IV-A..IV-E).
+
+Pipeline: ingest collected traffic -> payload check separates suspicious
+from normal -> sample M suspicious packets -> pairwise HTTP packet
+distances -> group-average hierarchical clustering -> conjunction
+signatures from the dendrogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.linkage import Linkage, agglomerate
+from repro.dataset.split import sample_packets
+from repro.dataset.trace import Trace
+from repro.distance.matrix import distance_matrix
+from repro.distance.packet import PacketDistance
+from repro.errors import SignatureError
+from repro.http.packet import HttpPacket
+from repro.sensitive.payload_check import PayloadCheck
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.generator import GeneratorConfig, SignatureGenerator
+from repro.signatures.store import SignatureStore
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Server tuning.
+
+    :param linkage: clustering criterion (paper: group average).
+    :param generator: signature-generation policy.
+    """
+
+    linkage: Linkage = Linkage.GROUP_AVERAGE
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+
+@dataclass(slots=True)
+class GenerationResult:
+    """Everything one generation run produced (for inspection and tests)."""
+
+    sample: list[HttpPacket]
+    dendrogram: Dendrogram
+    signatures: list[ConjunctionSignature]
+
+
+class SignatureServer:
+    """The collection/clustering/generation server.
+
+    :param payload_check: ground-truth labeler (the server knows the
+        capture device's identifiers — Section IV-A's "payload check").
+    :param distance: the packet metric (defaults to the paper's d_pkt).
+    :param config: clustering/generation policy.
+    """
+
+    def __init__(
+        self,
+        payload_check: PayloadCheck,
+        distance: PacketDistance | None = None,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.payload_check = payload_check
+        self.distance = distance or PacketDistance.paper()
+        self.config = config or ServerConfig()
+        self._suspicious: list[HttpPacket] = []
+        self._normal: list[HttpPacket] = []
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def ingest(self, trace: Trace) -> tuple[int, int]:
+        """Run the payload check over a trace, accumulating both groups.
+
+        :returns: ``(n_suspicious, n_normal)`` added by this call.
+        """
+        suspicious, normal = self.payload_check.split(trace)
+        self._suspicious.extend(suspicious)
+        self._normal.extend(normal)
+        return len(suspicious), len(normal)
+
+    @property
+    def suspicious(self) -> list[HttpPacket]:
+        """Packets the payload check flagged (the clustering population)."""
+        return self._suspicious
+
+    @property
+    def normal(self) -> list[HttpPacket]:
+        return self._normal
+
+    # -- generation ---------------------------------------------------------------
+
+    def generate(self, n_sample: int, seed: int = 0) -> GenerationResult:
+        """Sample, cluster, and generate signatures (Sections IV-D, IV-E).
+
+        :param n_sample: M, the number of suspicious packets to cluster.
+        :param seed: sampling seed.
+        :raises SignatureError: when no suspicious traffic was ingested or
+            the sample size is not positive.
+        """
+        if not self._suspicious:
+            raise SignatureError("no suspicious packets ingested; call ingest() first")
+        if n_sample <= 0:
+            raise SignatureError(f"sample size must be positive, got {n_sample}")
+        n_sample = min(n_sample, len(self._suspicious))
+        sample = sample_packets(self._suspicious, n_sample, seed=seed)
+        dendrogram = self.cluster(sample)
+        generator = SignatureGenerator(self.config.generator)
+        signatures = generator.from_dendrogram(dendrogram, sample)
+        return GenerationResult(sample=sample, dendrogram=dendrogram, signatures=signatures)
+
+    def cluster(self, packets: list[HttpPacket]) -> Dendrogram:
+        """Group-average hierarchical clustering over ``packets``."""
+        matrix = distance_matrix(packets, self.distance)
+        return agglomerate(matrix, self.config.linkage)
+
+    # -- publication -----------------------------------------------------------------
+
+    def publish(self, signatures: list[ConjunctionSignature]) -> str:
+        """Serialize a signature set for device-side consumption."""
+        return SignatureStore.dumps(signatures)

@@ -1,0 +1,79 @@
+"""Trace redaction: share captures without re-leaking the identifiers.
+
+A captured trace *is* a privacy liability — every sensitive packet carries
+the device's identifiers (that is the point).  Publishing a research
+dataset, or shipping traces from user devices to the signature server,
+requires replacing each identifier spelling with a stable placeholder
+first.  Redaction is consistent (the same value maps to the same
+placeholder everywhere), so clustering structure and invariant-token
+extraction still work on redacted traces — placeholders are just as
+invariant as the values they replace.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.trace import Trace
+from repro.http.packet import HttpPacket
+from repro.http.parser import parse_request
+from repro.sensitive.identifiers import DeviceIdentity
+from repro.sensitive.payload_check import PayloadCheck
+
+
+def _placeholder(label: str, index: int) -> str:
+    """A stable, shape-preserving-ish placeholder token."""
+    slug = label.replace(" ", "_")
+    return f"REDACTED_{slug}_{index:02d}"
+
+
+class TraceRedactor:
+    """Replaces every on-wire spelling of a device's identifiers.
+
+    :param identity: whose identifiers to scrub.
+
+    The redactor reuses the payload check's spelling table, so whatever
+    the labeler can find, the redactor can remove — by construction a
+    redacted trace contains zero payload-check findings.
+    """
+
+    def __init__(self, identity: DeviceIdentity) -> None:
+        self._check = PayloadCheck(identity)
+        # Build spelling -> placeholder, longest spellings first so a
+        # percent-encoded spelling is replaced before its embedded plain
+        # form could split it.
+        spellings: dict[str, str] = {}
+        counter: dict[str, int] = {}
+        for kind, transform, spelling in self._check._table:
+            label = kind.value if transform.value == "PLAIN" else f"{kind.value}_{transform.value}"
+            index = counter.setdefault(label, 0)
+            if spelling not in spellings:
+                spellings[spelling] = _placeholder(label, index)
+                counter[label] = index + 1
+        self._replacements = sorted(spellings.items(), key=lambda kv: -len(kv[0]))
+
+    def redact_text(self, text: str) -> str:
+        """All identifier spellings replaced by placeholders."""
+        for spelling, placeholder in self._replacements:
+            if spelling in text:
+                text = text.replace(spelling, placeholder)
+        return text
+
+    def redact_packet(self, packet: HttpPacket) -> HttpPacket:
+        """A redacted copy of one packet (original is untouched)."""
+        raw = packet.wire_bytes().decode("latin-1")
+        cleaned = self.redact_text(raw)
+        request = parse_request(cleaned.encode("latin-1"))
+        return HttpPacket(
+            destination=packet.destination,
+            request=request,
+            app_id=packet.app_id,
+            timestamp=packet.timestamp,
+            meta=dict(packet.meta),
+        )
+
+    def redact_trace(self, trace: Trace) -> Trace:
+        """A fully redacted copy of a trace."""
+        return Trace(self.redact_packet(packet) for packet in trace)
+
+    def verify_clean(self, trace: Trace) -> bool:
+        """Whether no identifier spelling survives anywhere in the trace."""
+        return not any(self._check.is_sensitive(packet) for packet in trace)

@@ -1,0 +1,135 @@
+"""Corpus statistics: the analyses behind Tables I-III and Figure 2.
+
+Each function consumes a :class:`~repro.dataset.trace.Trace` (plus the
+payload check where sensitivity is involved) and returns plain data rows
+that :mod:`repro.eval.report` renders in the paper's table formats.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.dataset.trace import Trace
+from repro.sensitive.payload_check import PayloadCheck
+
+
+@dataclass(frozen=True, slots=True)
+class DestinationRow:
+    """One Table II row: a destination domain's packet and app mass."""
+
+    domain: str
+    packets: int
+    apps: int
+
+
+def destination_table(trace: Trace, *, min_apps: int = 1) -> list[DestinationRow]:
+    """Table II: packets and distinct apps per registered domain.
+
+    Rows are ordered by descending app count then packet count, the
+    ordering the paper's table uses.
+    """
+    rows: list[DestinationRow] = []
+    for domain, packets in trace.by_domain().items():
+        apps = len({p.app_id for p in packets})
+        if apps >= min_apps:
+            rows.append(DestinationRow(domain=domain, packets=len(packets), apps=apps))
+    rows.sort(key=lambda r: (-r.apps, -r.packets, r.domain))
+    return rows
+
+
+@dataclass(frozen=True, slots=True)
+class SensitiveRow:
+    """One Table III row: an identifier type's leak footprint."""
+
+    label: str
+    packets: int
+    apps: int
+    destinations: int
+
+
+def sensitive_table(trace: Trace, check: PayloadCheck) -> list[SensitiveRow]:
+    """Table III: per identifier (and transform), the number of packets,
+    apps, and destination domains touched by that leak."""
+    packets_by_label: dict[str, int] = {}
+    apps_by_label: dict[str, set[str]] = {}
+    domains_by_label: dict[str, set[str]] = {}
+    for packet in trace:
+        labels = check.leak_labels(packet)
+        for label in labels:
+            packets_by_label[label] = packets_by_label.get(label, 0) + 1
+            apps_by_label.setdefault(label, set()).add(packet.app_id)
+            domains_by_label.setdefault(label, set()).add(
+                packet.destination.registered_domain
+            )
+    rows = [
+        SensitiveRow(
+            label=label,
+            packets=packets_by_label[label],
+            apps=len(apps_by_label[label]),
+            destinations=len(domains_by_label[label]),
+        )
+        for label in packets_by_label
+    ]
+    rows.sort(key=lambda r: r.label)
+    return rows
+
+
+def destination_fanout(trace: Trace) -> dict[str, int]:
+    """Per app, the number of distinct HTTP host destinations (Fig 2 input)."""
+    return {app: len({p.host for p in packets}) for app, packets in trace.by_app().items()}
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutSummary:
+    """The Fig 2 headline numbers."""
+
+    n_apps: int
+    mean: float
+    max: int
+    single_destination: int  # apps with exactly 1 destination
+    up_to_10: int
+    up_to_16: int
+
+    @property
+    def single_fraction(self) -> float:
+        return self.single_destination / self.n_apps if self.n_apps else 0.0
+
+    @property
+    def up_to_10_fraction(self) -> float:
+        return self.up_to_10 / self.n_apps if self.n_apps else 0.0
+
+    @property
+    def up_to_16_fraction(self) -> float:
+        return self.up_to_16 / self.n_apps if self.n_apps else 0.0
+
+
+def fanout_summary(trace: Trace) -> FanoutSummary:
+    """Fig 2 summary: mean/max destination counts and CDF landmarks
+    (the paper: 7% one destination, 74% <= 10, 90% <= 16, mean 7.9, max 84).
+    """
+    counts = list(destination_fanout(trace).values())
+    if not counts:
+        return FanoutSummary(0, 0.0, 0, 0, 0, 0)
+    return FanoutSummary(
+        n_apps=len(counts),
+        mean=statistics.fmean(counts),
+        max=max(counts),
+        single_destination=sum(1 for c in counts if c == 1),
+        up_to_10=sum(1 for c in counts if c <= 10),
+        up_to_16=sum(1 for c in counts if c <= 16),
+    )
+
+
+def fanout_cdf(trace: Trace) -> list[tuple[int, float]]:
+    """The full cumulative distribution: (destination count, fraction of
+    apps with at most that many destinations) — the Fig 2 curve."""
+    counts = sorted(destination_fanout(trace).values())
+    if not counts:
+        return []
+    n = len(counts)
+    points: list[tuple[int, float]] = []
+    for threshold in range(1, counts[-1] + 1):
+        covered = sum(1 for c in counts if c <= threshold)
+        points.append((threshold, covered / n))
+    return points

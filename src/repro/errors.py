@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subclasses are grouped
+by the subsystem that raises them; each carries a human-readable message and
+keeps the offending value around where that is useful for debugging.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParseError(ReproError):
+    """Raw input (HTTP bytes, addresses, URLs) could not be parsed.
+
+    :param message: description of what failed.
+    :param data: the offending input fragment, truncated for display.
+    """
+
+    def __init__(self, message: str, data: bytes | str | None = None) -> None:
+        self.data = data
+        if data is not None:
+            shown = data if len(data) <= 64 else data[:61] + (b"..." if isinstance(data, bytes) else "...")
+            message = f"{message}: {shown!r}"
+        super().__init__(message)
+
+
+class AddressError(ParseError):
+    """An IPv4 address or port number was syntactically invalid."""
+
+
+class HttpParseError(ParseError):
+    """A raw HTTP request could not be parsed into a message."""
+
+
+class DistanceError(ReproError):
+    """A distance computation received incompatible or invalid operands."""
+
+
+class ClusteringError(ReproError):
+    """Hierarchical clustering was invoked on invalid input."""
+
+
+class SignatureError(ReproError):
+    """Signature generation or matching failed."""
+
+
+class PermissionDenied(ReproError):
+    """The simulated Binder refused a resource access.
+
+    Mirrors Android's ``SecurityException``: an application attempted to use
+    a resource without holding the required permission.
+
+    :param app: package name of the offending application.
+    :param permission: the permission that was missing.
+    """
+
+    def __init__(self, app: str, permission: str) -> None:
+        self.app = app
+        self.permission = permission
+        super().__init__(f"{app} lacks permission {permission}")
+
+
+class SimulationError(ReproError):
+    """The traffic simulation was configured inconsistently."""
+
+
+class DatasetError(ReproError):
+    """A trace or dataset file was malformed or inconsistent."""

@@ -1,0 +1,19 @@
+"""Evaluation: the paper's detection metrics, experiments, and reports.
+
+- :mod:`repro.eval.metrics` — TP/FN/FP percentages exactly as defined in
+  Section V-B,
+- :mod:`repro.eval.experiments` — the Fig 4 sweep and ablation runners,
+- :mod:`repro.eval.report` — text rendering of every table and figure.
+
+Only the metrics are re-exported here; import the experiment runners from
+their modules (``from repro.eval.experiments import run_fig4_sweep``) —
+they sit above :mod:`repro.core` in the layering, so importing them at
+package-init time would be circular.
+"""
+
+from repro.eval.metrics import DetectionMetrics, compute_metrics
+
+__all__ = [
+    "DetectionMetrics",
+    "compute_metrics",
+]

@@ -1,0 +1,79 @@
+"""Experiment runners: the Fig 4 detection sweep and its ablations.
+
+The paper's evaluation (Section V): sample N suspicious packets for
+signature generation with N swept from 100 to 500 in steps of 100, then
+re-apply the signatures to the entire dataset and report TP/FN/FP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import DetectionPipeline, PipelineConfig
+from repro.dataset.trace import Trace
+from repro.sensitive.payload_check import PayloadCheck
+
+#: The paper's sweep: "N was increased from 0 up to 500 in intervals of 100".
+PAPER_SWEEP: tuple[int, ...] = (100, 200, 300, 400, 500)
+
+#: Published Fig 4 landmarks (percentages) for shape assertions.
+PAPER_FIG4: dict[int, tuple[float, float, float]] = {
+    # N: (TP%, FN%, FP%)
+    100: (85.0, 15.0, 0.3),
+    200: (90.0, 8.0, 0.9),
+    500: (94.0, 5.0, 2.3),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig4Point:
+    """One point of the Fig 4 series."""
+
+    n_sample: int
+    tp_percent: float
+    fn_percent: float
+    fp_percent: float
+    n_signatures: int
+
+
+def run_fig4_sweep(
+    trace: Trace,
+    payload_check: PayloadCheck,
+    sample_sizes: tuple[int, ...] = PAPER_SWEEP,
+    *,
+    config: PipelineConfig | None = None,
+    seed: int = 0,
+) -> list[Fig4Point]:
+    """The full Fig 4 experiment on one corpus.
+
+    Sample sizes exceeding the suspicious population (possible on scaled-
+    down corpora) are clamped by the pipeline; the returned points carry
+    the effective N.
+    """
+    pipeline = DetectionPipeline(trace, payload_check, config)
+    points: list[Fig4Point] = []
+    for index, n in enumerate(sample_sizes):
+        result = pipeline.run(n, seed=seed + index)
+        points.append(
+            Fig4Point(
+                n_sample=result.n_sample,
+                tp_percent=result.metrics.tp_percent,
+                fn_percent=result.metrics.fn_percent,
+                fp_percent=result.metrics.fp_percent,
+                n_signatures=len(result.signatures),
+            )
+        )
+    return points
+
+
+def scaled_sweep(n_suspicious: int, full_scale: tuple[int, ...] = PAPER_SWEEP) -> tuple[int, ...]:
+    """Scale the paper's N values to a smaller corpus.
+
+    Keeps the 100:200:...:500 proportions while leaving enough suspicious
+    packets outside the sample for the TP denominator (at most 60% of the
+    suspicious group is sampled).
+    """
+    ceiling = max(2, int(n_suspicious * 0.6))
+    scale = min(1.0, ceiling / max(full_scale))
+    sizes = sorted({max(2, int(round(n * scale))) for n in full_scale})
+    return tuple(sizes)

@@ -1,0 +1,73 @@
+"""Plot-ready data export for every figure.
+
+The library keeps its core plotting-free (no matplotlib dependency), but
+each figure's series can be exported as CSV so any plotting tool can
+regenerate the paper's visuals.  The CSV column layouts are stable and
+covered by tests.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.dataset.stats import fanout_cdf
+from repro.dataset.trace import Trace
+from repro.eval.crossval import HoldoutResult
+from repro.eval.experiments import Fig4Point
+
+
+def fig2_series(trace: Trace) -> list[dict[str, float]]:
+    """The Fig 2 CDF as rows: destination threshold -> fraction of apps."""
+    return [
+        {"destinations": threshold, "fraction_of_apps": fraction}
+        for threshold, fraction in fanout_cdf(trace)
+    ]
+
+
+def fig4_series(points: Sequence[Fig4Point]) -> list[dict[str, float]]:
+    """The Fig 4 series as rows: N -> TP/FN/FP percent."""
+    return [
+        {
+            "n_sample": point.n_sample,
+            "tp_percent": point.tp_percent,
+            "fn_percent": point.fn_percent,
+            "fp_percent": point.fp_percent,
+            "n_signatures": point.n_signatures,
+        }
+        for point in points
+    ]
+
+
+def learning_curve_series(results: Sequence[HoldoutResult]) -> list[dict[str, float]]:
+    """The held-out learning curve as rows."""
+    return [
+        {
+            "n_train": result.n_train,
+            "heldout_recall": result.heldout_recall,
+            "false_positive_rate": result.false_positive_rate,
+            "n_signatures": result.n_signatures,
+        }
+        for result in results
+    ]
+
+
+def to_csv(rows: Sequence[dict[str, float]]) -> str:
+    """Render rows as CSV text (stable column order from the first row).
+
+    Empty input yields an empty string.
+    """
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def save_csv(rows: Sequence[dict[str, float]], path: str | Path) -> None:
+    """Write rows to a CSV file."""
+    Path(path).write_text(to_csv(rows), encoding="utf-8")

@@ -1,0 +1,104 @@
+"""Detection metrics, exactly per the paper's Section V-B equations.
+
+With S = the number of sensitive packets in the dataset, B = the number of
+non-sensitive packets, N = the signature-generation sample size, D_s = the
+number of *detected* sensitive packets and D_b = the number of detected
+non-sensitive packets:
+
+    TP = (D_s - N) / (S - N)
+    FN = (S - D_s) / (S - N)
+    FP =  D_b      / (B - N)
+
+Notes on fidelity: the paper subtracts N from the true-positive numerator
+and from every denominator — the training packets are excluded from credit
+(they are matched by construction), and the paper applies the same N
+correction to the FP denominator even though the sample is drawn from the
+suspicious group; we reproduce that literally.  ``TP + FN = 1`` by
+construction whenever all N training packets are re-detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.http.packet import HttpPacket
+from repro.signatures.matcher import SignatureMatcher
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionMetrics:
+    """One evaluation's outcome.
+
+    Rates are fractions in ``[0, 1]``; the paper reports them as
+    percentages.
+    """
+
+    n_sample: int
+    n_suspicious: int
+    n_normal: int
+    detected_sensitive: int
+    detected_normal: int
+    true_positive_rate: float
+    false_negative_rate: float
+    false_positive_rate: float
+
+    @property
+    def tp_percent(self) -> float:
+        return 100.0 * self.true_positive_rate
+
+    @property
+    def fn_percent(self) -> float:
+        return 100.0 * self.false_negative_rate
+
+    @property
+    def fp_percent(self) -> float:
+        return 100.0 * self.false_positive_rate
+
+
+def compute_metrics(
+    matcher: SignatureMatcher,
+    suspicious: Sequence[HttpPacket],
+    normal: Sequence[HttpPacket],
+    n_sample: int,
+    training_sample: Sequence[HttpPacket] | None = None,
+) -> DetectionMetrics:
+    """Screen both groups and evaluate the paper's three rates.
+
+    :param matcher: the signature matcher under evaluation.
+    :param suspicious: all sensitive packets in the dataset (the training
+        sample included, as in the paper's "applied the generated
+        signatures to the dataset in its entirety").
+    :param normal: all non-sensitive packets.
+    :param n_sample: N.
+    :param training_sample: unused by the equations (kept for audits: the
+        caller can verify every training packet is re-detected).
+    :raises ReproError: when the denominators are non-positive.
+    """
+    n_suspicious = len(suspicious)
+    n_normal = len(normal)
+    if n_suspicious - n_sample <= 0:
+        raise ReproError(
+            f"need more sensitive packets ({n_suspicious}) than the sample size ({n_sample})"
+        )
+    if n_normal - n_sample <= 0:
+        raise ReproError(
+            f"need more normal packets ({n_normal}) than the sample size ({n_sample})"
+        )
+    detected_sensitive = sum(1 for packet in suspicious if matcher.is_sensitive(packet))
+    detected_normal = sum(1 for packet in normal if matcher.is_sensitive(packet))
+
+    tp = (detected_sensitive - n_sample) / (n_suspicious - n_sample)
+    fn = (n_suspicious - detected_sensitive) / (n_suspicious - n_sample)
+    fp = detected_normal / (n_normal - n_sample)
+    return DetectionMetrics(
+        n_sample=n_sample,
+        n_suspicious=n_suspicious,
+        n_normal=n_normal,
+        detected_sensitive=detected_sensitive,
+        detected_normal=detected_normal,
+        true_positive_rate=max(0.0, min(1.0, tp)),
+        false_negative_rate=max(0.0, min(1.0, fn)),
+        false_positive_rate=max(0.0, min(1.0, fp)),
+    )

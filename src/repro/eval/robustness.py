@@ -1,0 +1,89 @@
+"""Seed-robustness studies: are the results a property of one corpus?
+
+The paper reports single numbers from one capture.  A reproduction can do
+better: re-run an experiment across independently seeded corpora and
+report the spread.  The ``seed_study`` helper does that for any metric
+function; :func:`fig4_point_study` is the canned version for one Fig 4
+point.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.pipeline import DetectionPipeline, PipelineConfig
+from repro.simulation.corpus import Corpus, build_corpus
+
+
+@dataclass(frozen=True, slots=True)
+class StudySummary:
+    """Spread of one scalar metric across seeds."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.values) if len(self.values) > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: mean {self.mean:.3f} ± {self.stdev:.3f} "
+            f"(min {self.min:.3f}, max {self.max:.3f}, n={len(self.values)})"
+        )
+
+
+def seed_study(
+    metric: Callable[[Corpus], dict[str, float]],
+    *,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    n_apps: int = 120,
+) -> list[StudySummary]:
+    """Evaluate ``metric`` on one corpus per seed and summarize each key.
+
+    :param metric: maps a corpus to named scalar results.
+    :param seeds: corpus seeds (one corpus built per entry).
+    :param n_apps: corpus scale for the study.
+    """
+    collected: dict[str, list[float]] = {}
+    for seed in seeds:
+        corpus = build_corpus(n_apps=n_apps, seed=seed)
+        for name, value in metric(corpus).items():
+            collected.setdefault(name, []).append(float(value))
+    return [StudySummary(name=name, values=tuple(values)) for name, values in collected.items()]
+
+
+def fig4_point_study(
+    n_sample: int = 100,
+    *,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    n_apps: int = 120,
+    config: PipelineConfig | None = None,
+) -> list[StudySummary]:
+    """TP/FP spread of one Fig 4 point across independent corpora."""
+
+    def metric(corpus: Corpus) -> dict[str, float]:
+        pipeline = DetectionPipeline(corpus.trace, corpus.payload_check(), config)
+        effective_n = min(n_sample, max(2, pipeline.n_suspicious - 10))
+        result = pipeline.run(effective_n, seed=0)
+        return {
+            "tp_rate": result.metrics.true_positive_rate,
+            "fp_rate": result.metrics.false_positive_rate,
+            "n_signatures": float(len(result.signatures)),
+        }
+
+    return seed_study(metric, seeds=seeds, n_apps=n_apps)

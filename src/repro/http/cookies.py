@@ -1,0 +1,46 @@
+"""``Cookie`` request-header parsing and rendering.
+
+The paper's content distance is computed over three fields, one of which is
+the cookie string.  Ad modules use cookies to carry session and device
+identifiers, so faithful parsing (order-preserving, tolerant of missing
+values) matters for both labelling and signature extraction.
+"""
+
+from __future__ import annotations
+
+
+def parse_cookie_header(header_value: str) -> list[tuple[str, str]]:
+    """Parse a ``Cookie:`` header value into ordered ``(name, value)`` pairs.
+
+    Splits on ``;``, trims surrounding whitespace, and treats a chunk with
+    no ``=`` as a bare name with empty value (seen in the wild).  Double
+    quotes around values are stripped per RFC 6265.
+
+    >>> parse_cookie_header('sid=abc; udid="123"; flag')
+    [('sid', 'abc'), ('udid', '123'), ('flag', '')]
+    """
+    pairs: list[tuple[str, str]] = []
+    for chunk in header_value.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, value = chunk.partition("=")
+        value = value.strip()
+        if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+            value = value[1:-1]
+        pairs.append((name.strip(), value if sep else ""))
+    return pairs
+
+
+def format_cookies(pairs: list[tuple[str, str]]) -> str:
+    """Render pairs back into a ``Cookie:`` header value.
+
+    >>> format_cookies([('sid', 'abc'), ('flag', '')])
+    'sid=abc; flag='
+    """
+    return "; ".join(f"{name}={value}" for name, value in pairs)
+
+
+def cookie_names(header_value: str) -> list[str]:
+    """Just the cookie names, in order, for structural comparisons."""
+    return [name for name, __ in parse_cookie_header(header_value)]

@@ -1,0 +1,29 @@
+"""Canonical wire serialization of :class:`~repro.http.message.HttpRequest`.
+
+Serialization is the inverse of parsing up to line-ending normalization:
+``parse_request(serialize_request(r))`` reproduces ``r`` field-for-field.
+The canonical form is what NCD compresses and what signatures index into,
+so it must be deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.http.message import HttpRequest
+
+_CRLF = b"\r\n"
+
+
+def serialize_request(request: HttpRequest, *, update_content_length: bool = True) -> bytes:
+    """Render the request in canonical CRLF wire form.
+
+    :param update_content_length: when true (default), a ``Content-Length``
+        header is set to the actual body length for requests with a body,
+        keeping the output self-consistent even if the model was edited.
+    """
+    out = request.copy() if update_content_length else request
+    if update_content_length and out.body:
+        out.set_header("Content-Length", str(len(out.body)))
+    lines = [out.request_line.encode("latin-1")]
+    lines.extend(f"{name}: {value}".encode("latin-1") for name, value in out.headers)
+    head = _CRLF.join(lines)
+    return head + _CRLF + _CRLF + out.body

@@ -1,0 +1,48 @@
+"""Sensitive-information model: device identifiers and the payload check.
+
+The paper's notion of *sensitive information* (Section V-A) is:
+
+- UDIDs — Android ID, IMEI, IMSI, SIM serial (ICCID),
+- their MD5 and SHA1 hashes,
+- the carrier name.
+
+:class:`repro.sensitive.identifiers.DeviceIdentity` models one device's
+identifier set; :class:`repro.sensitive.payload_check.PayloadCheck` is the
+mechanical labeler that splits a trace into the suspicious and normal
+groups.
+"""
+
+from repro.sensitive.identifiers import (
+    CARRIERS,
+    DeviceIdentity,
+    IdentifierKind,
+    luhn_check_digit,
+    make_android_id,
+    make_iccid,
+    make_imei,
+    make_imsi,
+)
+from repro.sensitive.location import GeoPoint, LocationCheck
+from repro.sensitive.obfuscation import Obfuscation, obfuscate
+from repro.sensitive.payload_check import Finding, PayloadCheck
+from repro.sensitive.transforms import Transform, transform_value, transform_variants
+
+__all__ = [
+    "IdentifierKind",
+    "DeviceIdentity",
+    "CARRIERS",
+    "luhn_check_digit",
+    "make_imei",
+    "make_imsi",
+    "make_iccid",
+    "make_android_id",
+    "Transform",
+    "transform_value",
+    "transform_variants",
+    "PayloadCheck",
+    "Finding",
+    "Obfuscation",
+    "obfuscate",
+    "GeoPoint",
+    "LocationCheck",
+]

@@ -1,0 +1,135 @@
+"""Location leakage: the paper's third sensitive category, detected.
+
+Table I tracks the LOCATION permission as sensitive, and the paper cites
+Grace et al. (WiSec 2012, its ref [3]) on ad libraries harvesting
+location — but Table III never measures location leaks, because a
+coordinate is harder to label than an identifier: SDKs truncate digits,
+add jitter, and there is no exact string to search for.
+
+This module closes that gap with *tolerance matching*: scan packet text
+for coordinate-shaped decimal pairs, parse them, and flag pairs within a
+configurable radius of the device's true position.  It is deliberately a
+separate check from :class:`~repro.sensitive.payload_check.PayloadCheck`
+so the Table III reproduction stays exactly the paper's identifier set.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable
+
+from repro.http.packet import HttpPacket
+
+#: Rough metres per degree of latitude (good enough for a radius check).
+_METRES_PER_DEGREE = 111_320.0
+
+#: Decimal numbers with 3+ fraction digits — coordinate-shaped values.
+_COORD_PATTERN = re.compile(r"(-?\d{1,3}\.\d{3,8})")
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS84 coordinate.
+
+    :raises ValueError: for out-of-range latitude/longitude.
+    """
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_metres(self, other: "GeoPoint") -> float:
+        """Equirectangular approximation — accurate enough below ~100 km."""
+        earth_radius = 6_371_000.0
+        mean_lat = math.radians((self.latitude + other.latitude) / 2.0)
+        dx = math.radians(other.longitude - self.longitude) * math.cos(mean_lat)
+        dy = math.radians(other.latitude - self.latitude)
+        return math.hypot(dx, dy) * earth_radius
+
+    @classmethod
+    def tokyo_area(cls, rng: Random) -> "GeoPoint":
+        """A random point in the greater Tokyo area (the study's locale)."""
+        return cls(
+            latitude=35.68 + rng.uniform(-0.25, 0.25),
+            longitude=139.76 + rng.uniform(-0.35, 0.35),
+        )
+
+    def jittered(self, rng: Random, *, max_metres: float = 150.0) -> "GeoPoint":
+        """The point as a coarse GPS fix would report it."""
+        jitter = max_metres / _METRES_PER_DEGREE
+        return GeoPoint(
+            latitude=self.latitude + rng.uniform(-jitter, jitter),
+            longitude=self.longitude + rng.uniform(-jitter, jitter),
+        )
+
+    def wire_format(self, precision: int = 6) -> tuple[str, str]:
+        """``(lat, lon)`` strings the way SDKs serialize them."""
+        return (f"{self.latitude:.{precision}f}", f"{self.longitude:.{precision}f}")
+
+
+@dataclass(frozen=True, slots=True)
+class LocationFinding:
+    """One coordinate pair near the device's position."""
+
+    point: GeoPoint
+    distance_metres: float
+    offset: int
+
+
+class LocationCheck:
+    """Tolerance-based location-leak scanner.
+
+    :param home: the device's true position.
+    :param radius_metres: pairs within this distance count as leaks.
+        The default (1,500 m) absorbs GPS jitter and SDK truncation while
+        rejecting other cities' coordinates.
+    """
+
+    def __init__(self, home: GeoPoint, radius_metres: float = 1500.0) -> None:
+        if radius_metres <= 0:
+            raise ValueError("radius must be positive")
+        self.home = home
+        self.radius_metres = radius_metres
+
+    def scan_text(self, text: str) -> list[LocationFinding]:
+        """All adjacent coordinate-shaped pairs within the radius.
+
+        Candidate pairs are *consecutive* matches (lat then lon, the only
+        order SDKs use); a longitude-first pair is also tried so
+        ``lon,lat`` APIs are not missed.
+        """
+        matches = list(_COORD_PATTERN.finditer(text))
+        findings: list[LocationFinding] = []
+        for first, second in zip(matches, matches[1:]):
+            for lat_text, lon_text in ((first.group(1), second.group(1)),
+                                       (second.group(1), first.group(1))):
+                try:
+                    point = GeoPoint(float(lat_text), float(lon_text))
+                except ValueError:
+                    continue
+                distance = self.home.distance_metres(point)
+                if distance <= self.radius_metres:
+                    findings.append(
+                        LocationFinding(point=point, distance_metres=distance, offset=first.start())
+                    )
+                    break
+        return findings
+
+    def is_leaking(self, packet: HttpPacket) -> bool:
+        return bool(self.scan_text(packet.canonical_text()))
+
+    def split(self, packets: Iterable[HttpPacket]) -> tuple[list[HttpPacket], list[HttpPacket]]:
+        """Partition into ``(location-leaking, other)``."""
+        leaking: list[HttpPacket] = []
+        other: list[HttpPacket] = []
+        for packet in packets:
+            (leaking if self.is_leaking(packet) else other).append(packet)
+        return leaking, other

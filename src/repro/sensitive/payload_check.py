@@ -1,0 +1,162 @@
+"""The payload check: ground-truth labelling of sensitive packets.
+
+This is step one of the paper's server pipeline (Section IV-A): "it
+generates a payload check, which separates application network traffic into
+two groups: one containing packets with sensitive information, and the
+other not."  The check knows the capture device's identity, derives every
+on-wire spelling of every identifier (raw, MD5, SHA1, hex/url/base64
+encoded), and scans each packet's inspected content for those spellings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.http.packet import HttpPacket
+from repro.sensitive.identifiers import DeviceIdentity, IdentifierKind
+from repro.sensitive.transforms import Transform, transform_variants
+
+#: The (kind, transform) pairs the paper reports as Table III rows.
+TABLE3_ROWS: tuple[tuple[IdentifierKind, Transform], ...] = (
+    (IdentifierKind.ANDROID_ID, Transform.PLAIN),
+    (IdentifierKind.ANDROID_ID, Transform.MD5),
+    (IdentifierKind.ANDROID_ID, Transform.SHA1),
+    (IdentifierKind.CARRIER, Transform.PLAIN),
+    (IdentifierKind.IMEI, Transform.PLAIN),
+    (IdentifierKind.IMEI, Transform.MD5),
+    (IdentifierKind.IMEI, Transform.SHA1),
+    (IdentifierKind.IMSI, Transform.PLAIN),
+    (IdentifierKind.SIM_SERIAL, Transform.PLAIN),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One sensitive value located inside one packet.
+
+    :param kind: which identifier leaked.
+    :param transform: how it was transformed before transmission.
+    :param spelling: the exact substring that matched.
+    :param offset: character offset of the match in the canonical text.
+    """
+
+    kind: IdentifierKind
+    transform: Transform
+    spelling: str
+    offset: int
+
+    @property
+    def label(self) -> str:
+        """Table III row label, e.g. ``"ANDROID_ID MD5"`` or ``"IMEI"``."""
+        if self.transform is Transform.PLAIN:
+            return self.kind.value
+        return f"{self.kind.value} {self.transform.value}"
+
+
+class PayloadCheck:
+    """Scanner for one device identity's sensitive values.
+
+    Builds the spelling tables once at construction; :meth:`scan` is then a
+    pure substring search per spelling.  Case handling: hex-shaped values
+    match both cases; the carrier name additionally matches its lowercase
+    and url-encoded forms because SDKs normalize it inconsistently.
+
+    :param identity: the device whose identifiers are sensitive.
+    :param transforms: which transforms to look for (defaults to the
+        paper's set: PLAIN, MD5, SHA1).
+    """
+
+    def __init__(
+        self,
+        identity: DeviceIdentity,
+        transforms: tuple[Transform, ...] = (Transform.PLAIN, Transform.MD5, Transform.SHA1),
+    ) -> None:
+        self.identity = identity
+        self.transforms = transforms
+        self._table: list[tuple[IdentifierKind, Transform, str]] = []
+        for kind, value in identity.items():
+            for transform in transforms:
+                if kind is IdentifierKind.CARRIER and transform.is_hash:
+                    # The paper tracks the carrier *name*, never its hash.
+                    continue
+                for spelling in sorted(transform_variants(value, transform)):
+                    self._table.append((kind, transform, spelling))
+                if kind is IdentifierKind.CARRIER:
+                    lowered = value.lower()
+                    if lowered != value:
+                        self._table.append((kind, transform, lowered))
+
+    def scan_text(self, text: str) -> list[Finding]:
+        """All findings in a text, sorted by offset then label."""
+        findings: list[Finding] = []
+        for kind, transform, spelling in self._table:
+            start = 0
+            while True:
+                offset = text.find(spelling, start)
+                if offset < 0:
+                    break
+                findings.append(Finding(kind, transform, spelling, offset))
+                start = offset + 1
+        findings.sort(key=lambda f: (f.offset, f.label))
+        return _drop_shadowed(findings)
+
+    def scan(self, packet: HttpPacket) -> list[Finding]:
+        """All findings in a packet's inspected content."""
+        return self.scan_text(packet.canonical_text())
+
+    def is_sensitive(self, packet: HttpPacket) -> bool:
+        """Whether the packet belongs to the suspicious group."""
+        return bool(self.scan(packet))
+
+    def leak_labels(self, packet: HttpPacket) -> set[str]:
+        """Distinct Table III row labels present in the packet."""
+        return {finding.label for finding in self.scan(packet)}
+
+    def split(
+        self, packets: Iterable[HttpPacket]
+    ) -> tuple[list[HttpPacket], list[HttpPacket]]:
+        """Partition packets into ``(suspicious, normal)`` groups.
+
+        This reproduces the manual separation of Section V-A; order within
+        each group follows the input order.
+        """
+        suspicious: list[HttpPacket] = []
+        normal: list[HttpPacket] = []
+        for packet in packets:
+            (suspicious if self.is_sensitive(packet) else normal).append(packet)
+        return suspicious, normal
+
+    def iter_findings(
+        self, packets: Iterable[HttpPacket]
+    ) -> Iterator[tuple[HttpPacket, list[Finding]]]:
+        """Yield ``(packet, findings)`` for packets with at least one hit."""
+        for packet in packets:
+            findings = self.scan(packet)
+            if findings:
+                yield packet, findings
+
+
+def _drop_shadowed(findings: list[Finding]) -> list[Finding]:
+    """Remove findings fully contained in a longer finding of the same kind.
+
+    A percent-encoded spelling contains the plain spelling as a substring
+    for values without reserved characters; without this pass one leak
+    would be double counted.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        span = (finding.offset, finding.offset + len(finding.spelling))
+        shadowed = False
+        for other in findings:
+            if other is finding or other.kind is not finding.kind:
+                continue
+            if other.transform is not finding.transform:
+                continue
+            other_span = (other.offset, other.offset + len(other.spelling))
+            if other_span[0] <= span[0] and span[1] <= other_span[1] and other_span != span:
+                shadowed = True
+                break
+        if not shadowed:
+            kept.append(finding)
+    return kept

@@ -1,0 +1,145 @@
+"""Export conjunction signatures to external detector formats.
+
+A signature set is only useful where enforcement can happen.  Besides the
+library's own :class:`~repro.signatures.matcher.SignatureMatcher`, two
+ecosystems could consume the sets in 2013 and still can today:
+
+- **regex engines** (mitmproxy scripts, WAF rules): a conjunction of
+  ordered tokens compiles to ``token1.*?token2.*?...`` with all tokens
+  escaped — semantically *weaker* than the matcher (regex ``.*?`` allows
+  overlapping placements the matcher forbids are impossible here since
+  ``.*?`` consumes at least the token itself... see note below), and
+  equivalence on non-overlapping-token sets is tested property-style;
+- **Snort-style rules**: one ``content:`` clause per token with relative
+  ordering (``distance:0``), scoped to the destination via a message.
+
+The exporters are text generators with no runtime dependency on the
+target tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.signatures.conjunction import ConjunctionSignature
+
+
+def to_regex(signature: ConjunctionSignature) -> str:
+    """A DOTALL regex matching exactly the signature's text predicate.
+
+    ``re.escape`` each token and join with ``.*?``.  Note regex semantics:
+    ``a.*?b`` places ``b`` strictly after ``a`` ends, which is the same
+    non-overlapping left-to-right placement the matcher uses, except the
+    regex engine backtracks over *all* placements while the matcher is
+    greedy — for plain-substring tokens the two predicates coincide (the
+    greedy earliest placement is complete; see the matcher brute-force
+    test).
+    """
+    return ".*?".join(re.escape(token) for token in signature.tokens)
+
+
+def matches_via_regex(signature: ConjunctionSignature, text: str) -> bool:
+    """Evaluate the exported regex (used by tests to prove equivalence)."""
+    return re.search(to_regex(signature), text, re.DOTALL) is not None
+
+
+def to_mitmproxy_script(signatures: Sequence[ConjunctionSignature]) -> str:
+    """A standalone mitmproxy addon script flagging matching requests.
+
+    The generated script reconstructs the canonical text exactly the way
+    :meth:`HttpPacket.canonical_text` does (request-line, cookie, body)
+    and applies the scope + regex per signature.
+    """
+    lines = [
+        '"""Auto-generated mitmproxy addon: sensitive-leak signatures."""',
+        "import re",
+        "",
+        "SIGNATURES = [",
+    ]
+    for signature in signatures:
+        lines.append(
+            f"    ({signature.scope_domain!r}, re.compile({to_regex(signature)!r}, re.DOTALL)),"
+        )
+    lines.extend(
+        [
+            "]",
+            "",
+            "",
+            "def _registered_domain(host):",
+            "    parts = host.lower().rstrip('.').split('.')",
+            "    if len(parts) <= 2:",
+            "        return '.'.join(parts)",
+            "    if parts[-2] in ('co', 'ne', 'or', 'ac', 'go', 'ad', 'gr', 'com'):",
+            "        return '.'.join(parts[-3:])",
+            "    return '.'.join(parts[-2:])",
+            "",
+            "",
+            "def request(flow):",
+            "    req = flow.request",
+            "    text = '\\n'.join((",
+            "        f'{req.method} {req.path} HTTP/1.1',",
+            "        req.headers.get('cookie', ''),",
+            "        req.get_text(strict=False) or '',",
+            "    ))",
+            "    domain = _registered_domain(req.host)",
+            "    for scope, pattern in SIGNATURES:",
+            "        if scope and scope != domain:",
+            "            continue",
+            "        if pattern.search(text):",
+            "            flow.metadata['sensitive_leak'] = True",
+            "            break",
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def _snort_content(token: str) -> str:
+    """One Snort content clause; non-printable bytes use pipe-hex."""
+    out: list[str] = []
+    hex_run: list[str] = []
+
+    def flush_hex() -> None:
+        if hex_run:
+            out.append("|" + " ".join(hex_run) + "|")
+            hex_run.clear()
+
+    for ch in token:
+        code = ord(ch)
+        if 0x20 <= code < 0x7F and ch not in '";\\|':
+            flush_hex()
+            out.append(ch)
+        else:
+            hex_run.append(f"{code:02X}")
+    flush_hex()
+    return "".join(out)
+
+
+def to_snort_rules(
+    signatures: Sequence[ConjunctionSignature], *, base_sid: int = 1_000_001
+) -> str:
+    """Snort 2.x alert rules, one per signature.
+
+    Tokens become ordered ``content`` clauses (``distance:0`` chains them
+    left-to-right, non-overlapping — the conjunction semantics); the scope
+    domain rides in the message and as an ``http_header`` Host content.
+    """
+    rules: list[str] = []
+    for index, signature in enumerate(signatures):
+        options: list[str] = [
+            f'msg:"SENSITIVE-LEAK {signature.scope_domain or "any"} #{index}"'
+        ]
+        if signature.scope_domain:
+            options.append(f'content:"Host|3A| "; http_header; content:"{_snort_content(signature.scope_domain)}"; http_header; distance:0')
+        for token_index, token in enumerate(signature.tokens):
+            clause = f'content:"{_snort_content(token)}"'
+            if token_index > 0:
+                clause += "; distance:0"
+            options.append(clause)
+        options.append(f"sid:{base_sid + index}")
+        options.append("rev:1")
+        rules.append(
+            "alert tcp $HOME_NET any -> $EXTERNAL_NET $HTTP_PORTS (" + "; ".join(options) + ";)"
+        )
+    return "\n".join(rules)

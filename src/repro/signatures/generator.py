@@ -1,0 +1,162 @@
+"""Dendrogram -> conjunction signature set (paper Section IV-E).
+
+The paper's procedure: take the clustering result, and for each cluster
+compute "the longest common strings of HTTP contents" as its signature.
+The generator walks flat clusters obtained from a dendrogram cut, extracts
+filtered invariant tokens per cluster, verifies token ordering across all
+members, scopes the signature to a registered domain when the cluster is
+destination-coherent, and de-duplicates subsumed signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.clustering.cut import cut_min_size
+from repro.clustering.dendrogram import Dendrogram
+from repro.errors import SignatureError
+from repro.http.packet import HttpPacket
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.tokens import TokenFilter, invariant_tokens, ordered_in_all
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Tuning knobs for signature generation.
+
+    :param cut_fraction: height cut as a fraction of the root height; the
+        default keeps tight, module-coherent clusters.
+    :param min_cluster_size: clusters below this size yield no signature
+        (a single packet has no *common* substring structure; memorizing it
+        whole would overfit — the exact-match baseline does that instead).
+    :param token_filter: anti-boilerplate token policy.
+    :param scope_to_domain: emit domain-scoped signatures when all cluster
+        members share one registered domain (paper: destination distance
+        creates "advertisement module specific signatures").
+    :param max_tokens: cap on tokens per signature; the longest tokens are
+        kept (specificity proxy).
+    """
+
+    cut_fraction: float = 0.35
+    min_cluster_size: int = 2
+    token_filter: TokenFilter = field(default_factory=TokenFilter)
+    scope_to_domain: bool = True
+    max_tokens: int = 12
+
+
+class SignatureGenerator:
+    """Generates a signature set from clustered packets.
+
+    :param config: generation policy; defaults reproduce the paper setup.
+    """
+
+    def __init__(self, config: GeneratorConfig | None = None) -> None:
+        self.config = config or GeneratorConfig()
+
+    def from_dendrogram(
+        self,
+        dendrogram: Dendrogram,
+        packets: Sequence[HttpPacket],
+    ) -> list[ConjunctionSignature]:
+        """Generate signatures from a merge tree over ``packets``.
+
+        The leaf numbering of the dendrogram must correspond to the packet
+        sequence order (leaf ``i`` is ``packets[i]``).
+
+        :raises SignatureError: on a leaf/packet count mismatch.
+        """
+        if dendrogram.n_leaves != len(packets):
+            raise SignatureError(
+                f"dendrogram has {dendrogram.n_leaves} leaves but {len(packets)} packets given"
+            )
+        cut_height = self.config.cut_fraction * dendrogram.height(dendrogram.root)
+        nodes = cut_min_size(dendrogram, cut_height, self.config.min_cluster_size)
+        if not nodes and dendrogram.n_leaves >= self.config.min_cluster_size:
+            # Degenerate tree: every merge at (nearly) the same height — all
+            # packets are one tight group.  Treat the root as the cluster
+            # rather than emitting nothing.
+            nodes = [dendrogram.root]
+        clusters = [[packets[leaf] for leaf in dendrogram.leaves(node)] for node in nodes]
+        return self.from_clusters(clusters)
+
+    def from_clusters(
+        self, clusters: Sequence[Sequence[HttpPacket]]
+    ) -> list[ConjunctionSignature]:
+        """Generate one signature per cluster, dropping empty results and
+        signatures subsumed by a more general one."""
+        signatures: list[ConjunctionSignature] = []
+        for cluster in clusters:
+            signature = self.signature_for_cluster(cluster)
+            if signature is not None:
+                signatures.append(signature)
+        return deduplicate(signatures)
+
+    def signature_for_cluster(
+        self, cluster: Sequence[HttpPacket]
+    ) -> ConjunctionSignature | None:
+        """Section IV-E step 2 for one cluster; ``None`` when nothing
+        distinctive is shared."""
+        if len(cluster) < self.config.min_cluster_size:
+            return None
+        texts = [packet.canonical_text() for packet in cluster]
+        tokens = invariant_tokens(texts, self.config.token_filter)
+        if not tokens:
+            return None
+        tokens = ordered_in_all(tokens, texts)
+        if not tokens:
+            return None
+        if len(tokens) > self.config.max_tokens:
+            # Keep the longest (most specific) tokens, preserving order.
+            by_length = sorted(tokens, key=len, reverse=True)[: self.config.max_tokens]
+            keep = set(by_length)
+            tokens = [token for token in tokens if token in keep]
+        scope = ""
+        if self.config.scope_to_domain:
+            domains = {packet.destination.registered_domain for packet in cluster}
+            if len(domains) == 1:
+                scope = domains.pop()
+        return ConjunctionSignature(
+            tokens=tuple(tokens),
+            scope_domain=scope,
+            source_cluster=len(cluster),
+        )
+
+
+def deduplicate(signatures: list[ConjunctionSignature]) -> list[ConjunctionSignature]:
+    """Drop signatures whose match set is provably contained in another's.
+
+    Signature A subsumes B when A's scope is compatible (A unscoped, or same
+    domain) and A's token sequence is an in-order sub-sequence of B's token
+    *texts* — then anything B matches, A matches, so B is redundant.
+    The broader signature (A) is kept.
+    """
+    kept: list[ConjunctionSignature] = []
+    for candidate in sorted(signatures, key=lambda s: s.total_token_length):
+        redundant = False
+        for existing in kept:
+            if _subsumes(existing, candidate):
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    # Restore a stable, readable order: scoped first, then by domain.
+    kept.sort(key=lambda s: (s.scope_domain == "", s.scope_domain, -s.total_token_length))
+    return kept
+
+
+def _subsumes(a: ConjunctionSignature, b: ConjunctionSignature) -> bool:
+    """Whether every packet matching ``b`` necessarily matches ``a``."""
+    if a.scope_domain and a.scope_domain != b.scope_domain:
+        return False
+    # a's tokens must be locatable, in order, inside the concatenation
+    # implied by b's tokens being present. Conservative check: each a-token
+    # is a substring of some b-token, advancing monotonically.
+    j = 0
+    for token_a in a.tokens:
+        while j < len(b.tokens) and token_a not in b.tokens[j]:
+            j += 1
+        if j == len(b.tokens):
+            return False
+        j += 1
+    return True

@@ -1,0 +1,128 @@
+"""Signature matching engines.
+
+:class:`SignatureMatcher` is the exact conjunction matcher the paper
+evaluates: a packet is flagged when *any* signature matches.  Signatures
+are indexed by destination scope so a packet is only tested against the
+unscoped set plus the bucket of its own registered domain.
+
+:class:`ProbabilisticMatcher` is the paper's future-work extension
+(probabilistic signatures a la Polygraph/Hamsa): it scores the
+length-weighted fraction of tokens present and flags above a threshold,
+trading false positives for robustness to partial obfuscation.  It is
+exercised by a dedicated ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.http.packet import HttpPacket
+from repro.signatures.conjunction import ConjunctionSignature
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of screening one packet.
+
+    :param matched: whether any signature fired.
+    :param signature: the first firing signature (``None`` if clean).
+    :param score: matcher-specific confidence (1.0 for exact matches).
+    """
+
+    matched: bool
+    signature: ConjunctionSignature | None = None
+    score: float = 0.0
+
+
+class SignatureMatcher:
+    """Exact conjunction matching over a signature set.
+
+    :param signatures: the signature set to screen with.
+    """
+
+    def __init__(self, signatures: Sequence[ConjunctionSignature]) -> None:
+        self.signatures = list(signatures)
+        self._by_domain: dict[str, list[ConjunctionSignature]] = defaultdict(list)
+        self._unscoped: list[ConjunctionSignature] = []
+        for signature in self.signatures:
+            if signature.scope_domain:
+                self._by_domain[signature.scope_domain].append(signature)
+            else:
+                self._unscoped.append(signature)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def candidates_for(self, packet: HttpPacket) -> list[ConjunctionSignature]:
+        """Signatures whose scope admits this packet."""
+        scoped = self._by_domain.get(packet.destination.registered_domain, [])
+        return scoped + self._unscoped
+
+    def match(self, packet: HttpPacket) -> MatchResult:
+        """Screen one packet; first firing signature wins."""
+        text = packet.canonical_text()
+        for signature in self.candidates_for(packet):
+            if signature.matches_text(text):
+                return MatchResult(matched=True, signature=signature, score=1.0)
+        return MatchResult(matched=False)
+
+    def is_sensitive(self, packet: HttpPacket) -> bool:
+        return self.match(packet).matched
+
+    def screen(self, packets: Iterable[HttpPacket]) -> list[MatchResult]:
+        """Screen a packet stream, one result per packet, in order."""
+        return [self.match(packet) for packet in packets]
+
+    def detected(self, packets: Iterable[HttpPacket]) -> list[HttpPacket]:
+        """Just the packets that fired any signature."""
+        return [packet for packet in packets if self.is_sensitive(packet)]
+
+
+class ProbabilisticMatcher(SignatureMatcher):
+    """Threshold matcher over length-weighted token coverage.
+
+    A signature scores ``sum(len(token) for matched tokens, in order) /
+    total_token_length``; the packet is flagged if any signature scores at
+    or above ``threshold``.  ``threshold=1.0`` coincides with exact
+    matching.
+
+    :param signatures: the signature set.
+    :param threshold: minimum coverage score to flag, in ``(0, 1]``.
+    """
+
+    def __init__(
+        self, signatures: Sequence[ConjunctionSignature], threshold: float = 0.7
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        super().__init__(signatures)
+        self.threshold = threshold
+
+    def score(self, signature: ConjunctionSignature, text: str) -> float:
+        """Length-weighted in-order token coverage for one signature."""
+        if signature.total_token_length == 0:
+            return 0.0
+        position = 0
+        matched_length = 0
+        for token in signature.tokens:
+            found = text.find(token, position)
+            if found < 0:
+                continue
+            matched_length += len(token)
+            position = found + len(token)
+        return matched_length / signature.total_token_length
+
+    def match(self, packet: HttpPacket) -> MatchResult:
+        text = packet.canonical_text()
+        best: tuple[float, ConjunctionSignature] | None = None
+        for signature in self.candidates_for(packet):
+            value = self.score(signature, text)
+            if value >= self.threshold and (best is None or value > best[0]):
+                best = (value, signature)
+                if value >= 1.0:
+                    break
+        if best is None:
+            return MatchResult(matched=False)
+        return MatchResult(matched=True, signature=best[1], score=best[0])

@@ -1,0 +1,83 @@
+"""Noise-aware signature generation (Hamsa-style, the paper's ref [30]).
+
+The match-everything pathology (high cuts, the literal §IV-E walk) happens
+because *nothing in generation ever looks at normal traffic*: a token can
+be invariant across a mixed cluster precisely because it is ubiquitous
+everywhere.  Hamsa's key idea (Li et al., S&P 2006, cited by the paper as
+a future direction) is to give the generator a pool of normal traffic and
+a false-positive budget: a token is only allowed into a signature if its
+frequency in the normal pool is below the budget.
+
+:class:`NoiseAwareGenerator` wraps the cut-based generator with exactly
+that test, making even pathological cuts safe — quantified by the
+``noise_aware`` ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SignatureError
+from repro.http.packet import HttpPacket
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.generator import GeneratorConfig, SignatureGenerator
+
+
+class NoiseAwareGenerator(SignatureGenerator):
+    """Cut-based generation with a per-token false-positive budget.
+
+    :param normal_sample: packets known to be non-sensitive (in deployment:
+        the payload check's normal group, or any clean capture).
+    :param max_token_fp: maximum fraction of the normal pool a token may
+        occur in.  Hamsa calls this the noise budget; 0.01 means "a token
+        seen in more than 1% of clean traffic is not an invariant of a
+        leak, it is an invariant of HTTP".
+    :param config: the usual generation policy.
+    :raises SignatureError: for an empty normal pool or invalid budget.
+    """
+
+    def __init__(
+        self,
+        normal_sample: Sequence[HttpPacket],
+        *,
+        max_token_fp: float = 0.01,
+        config: GeneratorConfig | None = None,
+    ) -> None:
+        super().__init__(config)
+        if not normal_sample:
+            raise SignatureError("noise-aware generation needs a normal-traffic sample")
+        if not 0.0 <= max_token_fp <= 1.0:
+            raise SignatureError(f"max_token_fp must be in [0, 1], got {max_token_fp}")
+        self.max_token_fp = max_token_fp
+        self._normal_texts = [packet.canonical_text() for packet in normal_sample]
+
+    def token_noise(self, token: str) -> float:
+        """Fraction of the normal pool containing ``token``."""
+        hits = sum(1 for text in self._normal_texts if token in text)
+        return hits / len(self._normal_texts)
+
+    def signature_for_cluster(
+        self, cluster: Sequence[HttpPacket]
+    ) -> ConjunctionSignature | None:
+        """The cut-based signature, minus tokens that fail the noise test.
+
+        A signature whose every token is noisy yields ``None`` — the
+        cluster shares nothing that distinguishes leaks from clean
+        traffic, so emitting anything would be the "POST *" pathology.
+        """
+        signature = super().signature_for_cluster(cluster)
+        if signature is None:
+            return None
+        quiet_tokens = tuple(
+            token for token in signature.tokens if self.token_noise(token) <= self.max_token_fp
+        )
+        if not quiet_tokens:
+            return None
+        if quiet_tokens == signature.tokens:
+            return signature
+        return ConjunctionSignature(
+            tokens=quiet_tokens,
+            scope_domain=signature.scope_domain,
+            source_cluster=signature.source_cluster,
+            label=signature.label,
+        )

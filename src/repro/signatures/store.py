@@ -1,0 +1,67 @@
+"""Signature set persistence.
+
+The device-side flow-control app "fetches signatures from the servers"; in
+this reproduction the transport is a JSON document.  The store versions its
+format and validates on load so an old or corrupt file fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import SignatureError
+from repro.signatures.conjunction import ConjunctionSignature
+
+FORMAT_VERSION = 1
+
+
+class SignatureStore:
+    """Reads and writes signature-set JSON documents."""
+
+    @staticmethod
+    def dumps(signatures: Sequence[ConjunctionSignature]) -> str:
+        """Serialize to a JSON string (stable key order)."""
+        document = {
+            "format_version": FORMAT_VERSION,
+            "count": len(signatures),
+            "signatures": [signature.to_dict() for signature in signatures],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    @staticmethod
+    def loads(text: str) -> list[ConjunctionSignature]:
+        """Parse a JSON string produced by :meth:`dumps`.
+
+        :raises SignatureError: on version mismatch, wrong structure, or a
+            count that disagrees with the payload.
+        """
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SignatureError(f"signature document is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise SignatureError("signature document must be a JSON object")
+        version = document.get("format_version")
+        if version != FORMAT_VERSION:
+            raise SignatureError(f"unsupported signature format version {version!r}")
+        records = document.get("signatures")
+        if not isinstance(records, list):
+            raise SignatureError("signature document missing 'signatures' list")
+        declared = document.get("count")
+        if declared != len(records):
+            raise SignatureError(
+                f"signature count mismatch: declared {declared}, found {len(records)}"
+            )
+        return [ConjunctionSignature.from_dict(record) for record in records]
+
+    @staticmethod
+    def save(signatures: Sequence[ConjunctionSignature], path: str | Path) -> None:
+        """Write the set to ``path``."""
+        Path(path).write_text(SignatureStore.dumps(signatures), encoding="utf-8")
+
+    @staticmethod
+    def load(path: str | Path) -> list[ConjunctionSignature]:
+        """Read a set from ``path``."""
+        return SignatureStore.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small deterministic corpus and packet builders."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.http.message import HttpRequest
+from repro.http.packet import Destination, HttpPacket
+from repro.sensitive.identifiers import DeviceIdentity
+from repro.simulation.corpus import Corpus, mini_corpus
+
+
+def make_packet(
+    host: str = "ads.example.com",
+    ip: str = "10.1.2.3",
+    port: int = 80,
+    method: str = "GET",
+    target: str = "/ad?x=1",
+    cookie: str = "",
+    body: bytes = b"",
+    app_id: str = "jp.test.app",
+) -> HttpPacket:
+    """A hand-built packet for unit tests."""
+    headers = [("Host", host), ("User-Agent", "test-agent"), ("Accept", "*/*")]
+    if cookie:
+        headers.append(("Cookie", cookie))
+    if body:
+        headers.append(("Content-Type", "application/x-www-form-urlencoded"))
+        headers.append(("Content-Length", str(len(body))))
+        method = "POST"
+    request = HttpRequest(method=method, target=target, headers=headers, body=body)
+    return HttpPacket(
+        destination=Destination.make(ip, port, host), request=request, app_id=app_id
+    )
+
+
+@pytest.fixture
+def identity() -> DeviceIdentity:
+    """A fixed coherent device identity."""
+    return DeviceIdentity.generate(Random(42))
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """One shared 60-app corpus (built once per test session)."""
+    return mini_corpus(seed=11, n_apps=60)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_corpus):
+    """The (suspicious, normal) split of the shared corpus."""
+    check = small_corpus.payload_check()
+    return check.split(small_corpus.trace)

@@ -1,0 +1,58 @@
+"""Permission framework and Table I classification."""
+
+from repro.android.permissions import (
+    ACCESS_FINE_LOCATION,
+    INTERNET,
+    Manifest,
+    PermissionCategory,
+    READ_CONTACTS,
+    READ_PHONE_STATE,
+    VIBRATE,
+    classify_manifest,
+    table1_counts,
+)
+
+
+def manifest(*perms):
+    return Manifest(package="jp.test.app", permissions=frozenset(perms))
+
+
+class TestManifest:
+    def test_holds(self):
+        m = manifest(INTERNET, READ_PHONE_STATE)
+        assert m.holds(INTERNET)
+        assert not m.holds(READ_CONTACTS)
+
+    def test_holds_category(self):
+        m = manifest(INTERNET, ACCESS_FINE_LOCATION)
+        assert m.holds_category(PermissionCategory.LOCATION)
+        assert not m.holds_category(PermissionCategory.CONTACTS)
+
+    def test_internet_only_not_dangerous(self):
+        assert not manifest(INTERNET).is_dangerous_combination
+        assert not manifest(INTERNET, VIBRATE).is_dangerous_combination
+
+    def test_internet_plus_sensitive_is_dangerous(self):
+        assert manifest(INTERNET, READ_PHONE_STATE).is_dangerous_combination
+        assert manifest(INTERNET, ACCESS_FINE_LOCATION).is_dangerous_combination
+        assert manifest(INTERNET, READ_CONTACTS).is_dangerous_combination
+
+    def test_sensitive_without_internet_not_dangerous(self):
+        # No network: the information cannot leave the device.
+        assert not manifest(READ_PHONE_STATE).is_dangerous_combination
+
+
+class TestClassification:
+    def test_classify_flags(self):
+        m = manifest(INTERNET, ACCESS_FINE_LOCATION, READ_PHONE_STATE)
+        assert classify_manifest(m) == (True, True, True, False)
+
+    def test_table1_counts(self):
+        manifests = [
+            manifest(INTERNET),
+            manifest(INTERNET),
+            manifest(INTERNET, ACCESS_FINE_LOCATION),
+        ]
+        counts = table1_counts(manifests)
+        assert counts[(True, False, False, False)] == 2
+        assert counts[(True, True, False, False)] == 1

@@ -1,0 +1,206 @@
+"""The command-line interface, exercised end to end through files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A corpus built once through the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    trace = root / "trace.jsonl"
+    identity = root / "identity.json"
+    code = main(
+        [
+            "corpus", "--apps", "40", "--seed", "3",
+            "--out", str(trace), "--identity", str(identity),
+        ]
+    )
+    assert code == 0
+    return root, trace, identity
+
+
+class TestCorpus:
+    def test_outputs_exist(self, workspace):
+        __, trace, identity = workspace
+        assert trace.exists() and trace.stat().st_size > 0
+        data = json.loads(identity.read_text())
+        assert set(data) == {"android_id", "imei", "imsi", "sim_serial", "carrier"}
+
+
+class TestLabel:
+    def test_prints_table3_view(self, workspace, capsys):
+        __, trace, identity = workspace
+        assert main(["label", "--trace", str(trace), "--identity", str(identity)]) == 0
+        out = capsys.readouterr().out
+        assert "suspicious:" in out
+        assert "ANDROID_ID" in out
+
+
+class TestGenerateAndScreen:
+    def test_generate_writes_signatures(self, workspace, capsys):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        code = main(
+            [
+                "generate", "--trace", str(trace), "--identity", str(identity),
+                "--sample", "40", "--out", str(sigs),
+            ]
+        )
+        assert code == 0
+        from repro.signatures.store import SignatureStore
+
+        assert SignatureStore.load(sigs)
+
+    def test_screen_reports_metrics(self, workspace, capsys):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        if not sigs.exists():
+            main(
+                [
+                    "generate", "--trace", str(trace), "--identity", str(identity),
+                    "--sample", "40", "--out", str(sigs),
+                ]
+            )
+            capsys.readouterr()
+        code = main(
+            [
+                "screen", "--trace", str(trace), "--signatures", str(sigs),
+                "--identity", str(identity), "--sample", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flagged" in out
+        assert "TP" in out
+
+    def test_screen_without_ground_truth(self, workspace, capsys):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        if not sigs.exists():
+            main(
+                [
+                    "generate", "--trace", str(trace), "--identity", str(identity),
+                    "--sample", "40", "--out", str(sigs),
+                ]
+            )
+            capsys.readouterr()
+        assert main(["screen", "--trace", str(trace), "--signatures", str(sigs)]) == 0
+        out = capsys.readouterr().out
+        assert "TP" not in out  # no metrics without identity
+
+
+class TestReportCommands:
+    def test_report_renders_tables(self, capsys):
+        assert main(["report", "--apps", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Fig 2" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", "--apps", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out
+
+
+class TestAnalyzeAndRedact:
+    def test_analyze_prints_coverage(self, workspace, capsys):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        if not sigs.exists():
+            main(
+                [
+                    "generate", "--trace", str(trace), "--identity", str(identity),
+                    "--sample", "40", "--out", str(sigs),
+                ]
+            )
+            capsys.readouterr()
+        code = main(
+            [
+                "analyze", "--trace", str(trace), "--identity", str(identity),
+                "--signatures", str(sigs),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "prompt rate" in out
+
+    def test_redact_produces_clean_trace(self, workspace, capsys):
+        root, trace, identity = workspace
+        out_path = root / "redacted.jsonl"
+        code = main(
+            [
+                "redact", "--trace", str(trace), "--identity", str(identity),
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "verified clean" in capsys.readouterr().out
+        import json
+
+        from repro.dataset.trace import Trace
+        from repro.sensitive.identifiers import DeviceIdentity
+        from repro.sensitive.payload_check import PayloadCheck
+
+        identity_obj = DeviceIdentity.from_dict(json.loads(identity.read_text()))
+        check = PayloadCheck(identity_obj)
+        clean = Trace.load_jsonl(out_path)
+        assert not any(check.is_sensitive(p) for p in clean.packets[:200])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestExport:
+    def test_export_mitmproxy(self, workspace, capsys, tmp_path):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        if not sigs.exists():
+            main(
+                [
+                    "generate", "--trace", str(trace), "--identity", str(identity),
+                    "--sample", "40", "--out", str(sigs),
+                ]
+            )
+            capsys.readouterr()
+        out = tmp_path / "addon.py"
+        assert main(["export", "--signatures", str(sigs), "--out", str(out)]) == 0
+        compile(out.read_text(), str(out), "exec")  # valid python
+
+    def test_export_snort(self, workspace, capsys, tmp_path):
+        root, trace, identity = workspace
+        sigs = root / "signatures.json"
+        if not sigs.exists():
+            main(
+                [
+                    "generate", "--trace", str(trace), "--identity", str(identity),
+                    "--sample", "40", "--out", str(sigs),
+                ]
+            )
+            capsys.readouterr()
+        out = tmp_path / "leaks.rules"
+        assert main(
+            ["export", "--signatures", str(sigs), "--format", "snort", "--out", str(out)]
+        ) == 0
+        assert out.read_text().startswith("alert tcp")
+
+
+class TestRisk:
+    def test_risk_ranks_population(self, capsys):
+        assert main(["risk", "--apps", "30", "--seed", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "static permission risk" in out
+        assert "CRITICAL" in out or "HIGH" in out or "MODERATE" in out

@@ -1,0 +1,99 @@
+"""Device-side flow control: policies, prompts, history."""
+
+from repro.core.flowcontrol import FlowControlApp, PolicyAction
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.store import SignatureStore
+from tests.conftest import make_packet
+
+
+def signature():
+    return ConjunctionSignature(tokens=("imei=12345",), scope_domain="adnet.com")
+
+
+def leaky():
+    return make_packet(host="ads.adnet.com", target="/x?imei=12345", app_id="jp.app.one")
+
+
+def clean():
+    return make_packet(host="img.other.jp", target="/img.png", app_id="jp.app.one")
+
+
+class TestScreening:
+    def test_clean_packet_transmitted(self):
+        app = FlowControlApp([signature()])
+        decision = app.screen(clean())
+        assert decision.transmitted
+        assert not decision.flagged
+        assert decision.action is PolicyAction.ALLOW
+
+    def test_flagged_packet_prompt_denied_by_default(self):
+        app = FlowControlApp([signature()])
+        decision = app.screen(leaky())
+        assert decision.flagged
+        assert not decision.transmitted  # default handler denies
+        assert decision.action is PolicyAction.PROMPT
+        assert decision.signature is not None
+
+    def test_prompt_handler_consulted(self):
+        asked = []
+
+        def handler(packet, sig):
+            asked.append((packet, sig))
+            return True
+
+        app = FlowControlApp([signature()], prompt_handler=handler)
+        decision = app.screen(leaky())
+        assert decision.transmitted
+        assert len(asked) == 1
+
+
+class TestPolicies:
+    def test_allow_rule_skips_prompt(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW)
+        decision = app.screen(leaky())
+        assert decision.transmitted
+        assert decision.action is PolicyAction.ALLOW
+
+    def test_block_rule(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        decision = app.screen(leaky())
+        assert not decision.transmitted
+        assert decision.action is PolicyAction.BLOCK
+
+    def test_domain_specific_rule_wins(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW, domain="adnet.com")
+        assert app.screen(leaky()).transmitted
+
+    def test_rules_scoped_per_app(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.other", PolicyAction.ALLOW)
+        assert not app.screen(leaky()).transmitted  # different app still prompts
+
+
+class TestHistory:
+    def test_history_records_everything(self):
+        app = FlowControlApp([signature()])
+        app.screen(clean())
+        app.screen(leaky())
+        assert len(app.history) == 2
+        assert len(app.flagged()) == 1
+        assert len(app.blocked()) == 1
+
+    def test_prompt_count(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK, domain="adnet.com")
+        app.screen(leaky())  # blocked silently, no prompt
+        app.policies.rules.clear()
+        app.screen(leaky())  # prompts
+        assert app.prompt_count() == 1
+
+
+class TestFetch:
+    def test_fetch_from_published_document(self):
+        published = SignatureStore.dumps([signature()])
+        app = FlowControlApp.fetch(published)
+        assert app.screen(leaky()).flagged

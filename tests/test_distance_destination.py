@@ -1,0 +1,84 @@
+"""Destination distance components and their paper orientation."""
+
+import pytest
+
+from repro.distance.destination import (
+    destination_distance,
+    host_distance,
+    ip_distance,
+    port_distance,
+)
+from repro.http.packet import Destination
+from repro.net.ipv4 import IPv4Address
+from tests.conftest import make_packet
+
+
+def ip(text):
+    return IPv4Address.parse(text)
+
+
+class TestIpDistance:
+    def test_identical_is_zero(self):
+        assert ip_distance(ip("10.0.0.1"), ip("10.0.0.1")) == 0.0
+
+    def test_completely_different_is_one(self):
+        assert ip_distance(ip("0.0.0.0"), ip("255.0.0.0")) == 1.0
+
+    def test_same_org_block_is_close(self):
+        # Two /16-sharing addresses: >= 16 shared bits -> distance <= 0.5
+        assert ip_distance(ip("173.194.41.9"), ip("173.194.38.7")) <= 0.5
+
+    def test_similarity_mode_is_papers_literal_formula(self):
+        a, b = ip("10.0.0.1"), ip("10.0.0.2")
+        assert ip_distance(a, b, similarity=True) == 30 / 32
+        assert ip_distance(a, b) == pytest.approx(1 - 30 / 32)
+
+
+class TestPortDistance:
+    def test_matching_ports(self):
+        assert port_distance(80, 80) == 0.0
+        assert port_distance(80, 80, similarity=True) == 1.0
+
+    def test_different_ports(self):
+        assert port_distance(80, 443) == 1.0
+        assert port_distance(80, 443, similarity=True) == 0.0
+
+
+class TestHostDistance:
+    def test_identical_hosts(self):
+        assert host_distance("ads.admob.com", "ads.admob.com") == 0.0
+
+    def test_normalized_by_longer(self):
+        value = host_distance("a.com", "b.com")
+        assert value == pytest.approx(1 / 5)
+
+    def test_related_subdomains_close(self):
+        assert host_distance("lh3.ggpht.com", "lh4.ggpht.com") < 0.1
+
+
+class TestCombined:
+    def test_range(self):
+        a = Destination.make("10.0.0.1", 80, "a.example.com")
+        b = Destination.make("200.9.9.9", 443, "zzz.other.net")
+        value = destination_distance(a, b)
+        assert 0.0 <= value <= 3.0
+
+    def test_identical_destination_is_zero(self):
+        a = Destination.make("10.0.0.1", 80, "a.example.com")
+        assert destination_distance(a, a) == 0.0
+
+    def test_accepts_packets(self):
+        x = make_packet(host="a.example.com", ip="10.0.0.1")
+        y = make_packet(host="a.example.com", ip="10.0.0.1")
+        assert destination_distance(x, y) == 0.0
+
+    def test_same_service_much_closer_than_unrelated(self):
+        ad1 = Destination.make("173.194.41.10", 80, "googleads.g.doubleclick.net")
+        ad2 = Destination.make("173.194.41.55", 80, "googleads.g.doubleclick.net")
+        other = Destination.make("54.248.92.17", 80, "output.nend.net")
+        assert destination_distance(ad1, ad2) < destination_distance(ad1, other)
+
+    def test_symmetry(self):
+        a = Destination.make("10.0.0.1", 80, "a.example.com")
+        b = Destination.make("200.9.9.9", 443, "zzz.other.net")
+        assert destination_distance(a, b) == destination_distance(b, a)

@@ -1,0 +1,65 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    ClusteringError,
+    DatasetError,
+    DistanceError,
+    HttpParseError,
+    ParseError,
+    PermissionDenied,
+    ReproError,
+    SignatureError,
+    SimulationError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for cls in (
+        ParseError,
+        AddressError,
+        HttpParseError,
+        DistanceError,
+        ClusteringError,
+        SignatureError,
+        PermissionDenied,
+        SimulationError,
+        DatasetError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_address_error_is_parse_error():
+    assert issubclass(AddressError, ParseError)
+    assert issubclass(HttpParseError, ParseError)
+
+
+def test_parse_error_truncates_long_data():
+    err = ParseError("bad", "x" * 200)
+    assert "..." in str(err)
+    assert len(str(err)) < 150
+
+
+def test_parse_error_shows_short_data_verbatim():
+    err = ParseError("bad", "abc")
+    assert "abc" in str(err)
+
+
+def test_parse_error_handles_bytes():
+    err = ParseError("bad", b"\xff" * 100)
+    assert "bad" in str(err)
+
+
+def test_permission_denied_carries_context():
+    err = PermissionDenied("jp.app.x", "READ_PHONE_STATE")
+    assert err.app == "jp.app.x"
+    assert err.permission == "READ_PHONE_STATE"
+    assert "jp.app.x" in str(err)
+    assert "READ_PHONE_STATE" in str(err)
+
+
+def test_catching_base_class_catches_everything():
+    with pytest.raises(ReproError):
+        raise HttpParseError("nope")

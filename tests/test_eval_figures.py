@@ -1,0 +1,58 @@
+"""Plot-data exporters."""
+
+import csv
+import io
+
+from repro.eval.crossval import HoldoutResult
+from repro.eval.experiments import Fig4Point
+from repro.eval.figures import (
+    fig2_series,
+    fig4_series,
+    learning_curve_series,
+    save_csv,
+    to_csv,
+)
+
+
+def test_fig2_series(small_corpus):
+    rows = fig2_series(small_corpus.trace)
+    assert rows
+    assert rows[0]["destinations"] == 1
+    fractions = [r["fraction_of_apps"] for r in rows]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_fig4_series_columns():
+    points = [Fig4Point(n_sample=100, tp_percent=85.0, fn_percent=15.0, fp_percent=0.3, n_signatures=9)]
+    rows = fig4_series(points)
+    assert rows == [
+        {"n_sample": 100, "tp_percent": 85.0, "fn_percent": 15.0, "fp_percent": 0.3, "n_signatures": 9}
+    ]
+
+
+def test_learning_curve_series():
+    results = [
+        HoldoutResult(n_train=30, n_heldout=100, heldout_recall=0.5, false_positive_rate=0.01, n_signatures=4)
+    ]
+    rows = learning_curve_series(results)
+    assert rows[0]["n_train"] == 30
+    assert rows[0]["heldout_recall"] == 0.5
+
+
+def test_to_csv_roundtrip():
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+    text = to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed[0]["a"] == "1"
+    assert parsed[1]["b"] == "4.5"
+
+
+def test_to_csv_empty():
+    assert to_csv([]) == ""
+
+
+def test_save_csv(tmp_path):
+    path = tmp_path / "fig.csv"
+    save_csv([{"x": 1}], path)
+    assert path.read_text().startswith("x")

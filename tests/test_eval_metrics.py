@@ -1,0 +1,80 @@
+"""The paper's Section V-B equations, verified by hand-built scenarios."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.metrics import compute_metrics
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.matcher import SignatureMatcher
+from tests.conftest import make_packet
+
+
+def leaky(i):
+    return make_packet(target=f"/x?imei=12345&i={i}")
+
+
+def clean(i):
+    return make_packet(target=f"/y?q={i}")
+
+
+def matcher_for(token="imei=12345"):
+    return SignatureMatcher([ConjunctionSignature(tokens=(token,))])
+
+
+class TestEquations:
+    def test_perfect_detection(self):
+        suspicious = [leaky(i) for i in range(10)]
+        normal = [clean(i) for i in range(20)]
+        m = compute_metrics(matcher_for(), suspicious, normal, n_sample=4)
+        # D_s = 10: TP = (10-4)/(10-4) = 1; FN = 0; FP = 0
+        assert m.true_positive_rate == 1.0
+        assert m.false_negative_rate == 0.0
+        assert m.false_positive_rate == 0.0
+        assert m.detected_sensitive == 10
+        assert m.tp_percent == 100.0
+
+    def test_partial_detection(self):
+        # 6 of 10 sensitive carry the token -> D_s = 6, N = 2:
+        suspicious = [leaky(i) for i in range(6)] + [
+            make_packet(target=f"/other?aid=999&i={i}") for i in range(4)
+        ]
+        normal = [clean(i) for i in range(20)]
+        m = compute_metrics(matcher_for(), suspicious, normal, n_sample=2)
+        assert m.true_positive_rate == pytest.approx((6 - 2) / (10 - 2))
+        assert m.false_negative_rate == pytest.approx((10 - 6) / (10 - 2))
+        assert m.true_positive_rate + m.false_negative_rate == pytest.approx(1.0)
+
+    def test_false_positives(self):
+        suspicious = [leaky(i) for i in range(5)]
+        # 3 of 13 normal packets carry a colliding token.
+        normal = [clean(i) for i in range(10)] + [
+            make_packet(target=f"/n?imei=12345&fp={i}") for i in range(3)
+        ]
+        m = compute_metrics(matcher_for(), suspicious, normal, n_sample=3)
+        assert m.detected_normal == 3
+        # paper formula: D_b / (B - N) = 3 / (13 - 3)
+        assert m.false_positive_rate == pytest.approx(3 / 10)
+
+    def test_fp_percent(self):
+        suspicious = [leaky(i) for i in range(5)]
+        normal = [clean(i) for i in range(103)] + [make_packet(target="/n?imei=12345")]
+        m = compute_metrics(matcher_for(), suspicious, normal, n_sample=4)
+        assert m.fp_percent == pytest.approx(100 * 1 / 100)
+
+
+class TestGuards:
+    def test_sample_exhausting_suspicious_rejected(self):
+        with pytest.raises(ReproError):
+            compute_metrics(matcher_for(), [leaky(1)], [clean(i) for i in range(5)], n_sample=1)
+
+    def test_sample_exhausting_normal_rejected(self):
+        with pytest.raises(ReproError):
+            compute_metrics(matcher_for(), [leaky(i) for i in range(5)], [clean(1)], n_sample=1)
+
+    def test_rates_clamped(self):
+        # Detector misses everything: TP numerator (0 - N) < 0 -> clamp to 0.
+        suspicious = [make_packet(target=f"/no-token?i={i}") for i in range(5)]
+        normal = [clean(i) for i in range(10)]
+        m = compute_metrics(matcher_for(), suspicious, normal, n_sample=2)
+        assert m.true_positive_rate == 0.0
+        assert m.false_negative_rate == 1.0

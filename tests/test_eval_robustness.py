@@ -1,0 +1,52 @@
+"""Seed-robustness studies."""
+
+import pytest
+
+from repro.eval.robustness import StudySummary, fig4_point_study, seed_study
+
+
+class TestStudySummary:
+    def test_statistics(self):
+        summary = StudySummary(name="x", values=(1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.min == 1.0
+        assert summary.max == 3.0
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_value_stdev_zero(self):
+        assert StudySummary(name="x", values=(5.0,)).stdev == 0.0
+
+    def test_describe(self):
+        text = StudySummary(name="tp", values=(0.8, 0.9)).describe()
+        assert "tp" in text
+        assert "n=2" in text
+
+
+class TestSeedStudy:
+    def test_metric_called_per_seed(self):
+        seen = []
+
+        def metric(corpus):
+            seen.append(corpus.n_apps)
+            return {"packets": len(corpus.trace)}
+
+        summaries = seed_study(metric, seeds=(1, 2), n_apps=25)
+        assert seen == [25, 25]
+        assert summaries[0].name == "packets"
+        assert len(summaries[0].values) == 2
+
+
+class TestFig4Study:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return {s.name: s for s in fig4_point_study(n_sample=60, seeds=(1, 2, 3), n_apps=70)}
+
+    def test_keys_present(self, study):
+        assert set(study) == {"tp_rate", "fp_rate", "n_signatures"}
+
+    def test_tp_stable_across_seeds(self, study):
+        assert study["tp_rate"].mean > 0.5
+        assert study["tp_rate"].stdev < 0.25
+
+    def test_fp_low_on_every_seed(self, study):
+        assert study["fp_rate"].max < 0.08

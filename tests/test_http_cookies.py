@@ -1,0 +1,41 @@
+"""Cookie header parsing and rendering."""
+
+from repro.http.cookies import cookie_names, format_cookies, parse_cookie_header
+
+
+def test_basic_pairs():
+    assert parse_cookie_header("sid=abc; uid=9") == [("sid", "abc"), ("uid", "9")]
+
+
+def test_order_preserved():
+    assert cookie_names("z=1; a=2; m=3") == ["z", "a", "m"]
+
+
+def test_bare_name():
+    assert parse_cookie_header("flag") == [("flag", "")]
+
+
+def test_quoted_value_unwrapped():
+    assert parse_cookie_header('udid="12345"') == [("udid", "12345")]
+
+
+def test_whitespace_tolerance():
+    assert parse_cookie_header("  sid = abc ;uid=9 ") == [("sid", "abc"), ("uid", "9")]
+
+
+def test_empty_header():
+    assert parse_cookie_header("") == []
+    assert parse_cookie_header(" ; ; ") == []
+
+
+def test_value_with_equals_sign():
+    assert parse_cookie_header("tok=a=b=c") == [("tok", "a=b=c")]
+
+
+def test_format_roundtrip():
+    pairs = [("sid", "abc"), ("uid", "9")]
+    assert parse_cookie_header(format_cookies(pairs)) == pairs
+
+
+def test_format_bare_value():
+    assert format_cookies([("flag", "")]) == "flag="

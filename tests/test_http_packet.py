@@ -1,0 +1,90 @@
+"""HttpPacket and Destination: model fields and JSON persistence."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.http.packet import Destination, HttpPacket
+from tests.conftest import make_packet
+
+
+class TestDestination:
+    def test_make(self):
+        d = Destination.make("10.0.0.1", 80, "Ads.Example.COM")
+        assert str(d.ip) == "10.0.0.1"
+        assert d.port == 80
+        assert d.host == "ads.example.com"  # normalized
+
+    def test_registered_domain(self):
+        d = Destination.make("10.0.0.1", 80, "googleads.g.doubleclick.net")
+        assert d.registered_domain == "doubleclick.net"
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(Exception):
+            Destination.make("10.0.0.1", 0, "h.example.com")
+
+    def test_str(self):
+        d = Destination.make("10.0.0.1", 8080, "h.example.com")
+        assert "h.example.com" in str(d)
+        assert "8080" in str(d)
+
+
+class TestPacketFields:
+    def test_paper_six_fields(self):
+        p = make_packet(
+            host="ads.x.com",
+            ip="1.2.3.4",
+            port=443,
+            target="/ad?u=9",
+            cookie="sid=1",
+            body=b"k=v",
+        )
+        assert str(p.ip) == "1.2.3.4"
+        assert p.port == 443
+        assert p.host == "ads.x.com"
+        assert p.request_line.startswith("POST /ad?u=9")
+        assert p.cookie == "sid=1"
+        assert p.body == b"k=v"
+
+    def test_canonical_text_has_three_fields(self):
+        p = make_packet(target="/x?q=1", cookie="c=2", body=b"b=3")
+        text = p.canonical_text()
+        assert "/x?q=1" in text
+        assert "c=2" in text
+        assert "b=3" in text
+
+    def test_wire_bytes_parseable(self):
+        from repro.http.parser import parse_request
+
+        p = make_packet(body=b"a=1")
+        again = parse_request(p.wire_bytes())
+        assert again.body == b"a=1"
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        p = make_packet(cookie="sid=x", body=b"imei=123", app_id="jp.a.b")
+        p.timestamp = 12.5
+        p.meta["service"] = "test"
+        d = p.to_dict()
+        again = HttpPacket.from_dict(d)
+        assert again.host == p.host
+        assert again.port == p.port
+        assert str(again.ip) == str(p.ip)
+        assert again.app_id == "jp.a.b"
+        assert again.timestamp == 12.5
+        assert again.meta == {"service": "test"}
+        assert again.cookie == "sid=x"
+        assert again.body == b"imei=123"
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ParseError):
+            HttpPacket.from_dict({"ip": "1.2.3.4"})
+
+    def test_defaults_for_optional_fields(self):
+        p = make_packet()
+        d = p.to_dict()
+        del d["meta"]
+        d.pop("timestamp")
+        again = HttpPacket.from_dict(d)
+        assert again.meta == {}
+        assert again.timestamp == 0.0

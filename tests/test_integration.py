@@ -1,0 +1,137 @@
+"""Full-system integration: the complete Fig 3 loop on a fresh corpus.
+
+Server side: collect -> payload check -> cluster -> signatures -> publish.
+Device side: fetch -> screen every packet -> user policies.
+"""
+
+import pytest
+
+from repro.core.flowcontrol import FlowControlApp, PolicyAction
+from repro.core.server import SignatureServer
+from repro.sensitive.payload_check import PayloadCheck
+from repro.simulation.corpus import mini_corpus
+
+
+@pytest.fixture(scope="module")
+def system():
+    corpus = mini_corpus(seed=31, n_apps=50)
+    check = PayloadCheck(corpus.device.identity)
+    server = SignatureServer(check)
+    server.ingest(corpus.trace)
+    generation = server.generate(n_sample=min(60, len(server.suspicious) - 10), seed=2)
+    published = server.publish(generation.signatures)
+    device_app = FlowControlApp.fetch(published)
+    return corpus, check, server, generation, device_app
+
+
+class TestServerSide:
+    def test_payload_check_found_leaks(self, system):
+        __, __, server, __, __ = system
+        assert len(server.suspicious) > 50
+        assert len(server.normal) > len(server.suspicious)
+
+    def test_signatures_are_module_specific(self, system):
+        __, __, __, generation, __ = system
+        scoped = [s for s in generation.signatures if s.scope_domain]
+        assert len(scoped) >= len(generation.signatures) * 0.5
+        ad_domains = {"ad-maker.info", "doubleclick.net", "nend.net", "admob.com",
+                      "i-mobile.co.jp", "medibaad.com", "microad.jp", "amoad.com"}
+        assert {s.scope_domain for s in scoped} & ad_domains
+
+    def test_no_boilerplate_only_signatures(self, system):
+        __, __, __, generation, __ = system
+        for signature in generation.signatures:
+            assert signature.total_token_length >= 5
+            assert all(token not in ("GET", "POST", "HTTP/1.1") for token in signature.tokens)
+
+
+class TestDeviceSide:
+    def test_screening_detects_most_leaks(self, system):
+        corpus, check, __, __, device_app = system
+        flagged_sensitive = 0
+        total_sensitive = 0
+        false_alarms = 0
+        total_normal = 0
+        for packet in corpus.trace:
+            decision = device_app.screen(packet)
+            if check.is_sensitive(packet):
+                total_sensitive += 1
+                flagged_sensitive += decision.flagged
+            else:
+                total_normal += 1
+                false_alarms += decision.flagged
+        assert flagged_sensitive / total_sensitive > 0.6
+        assert false_alarms / total_normal < 0.06
+
+    def test_user_policy_blocks_app(self, system):
+        corpus, check, __, generation, __ = system
+        device_app = FlowControlApp(generation.signatures)
+        from repro.signatures.matcher import SignatureMatcher
+
+        probe = SignatureMatcher(generation.signatures)
+        detectable_apps = sorted(
+            {
+                p.app_id
+                for p in corpus.trace
+                if check.is_sensitive(p) and probe.is_sensitive(p)
+            }
+        )
+        target_app = detectable_apps[0]
+        device_app.policies.set_rule(target_app, PolicyAction.BLOCK)
+        leaks = [p for p in corpus.trace if p.app_id == target_app and check.is_sensitive(p)]
+        decisions = [device_app.screen(p) for p in leaks]
+        flagged = [d for d in decisions if d.flagged]
+        assert flagged
+        assert all(not d.transmitted for d in flagged)
+        assert device_app.prompt_count() == 0  # block rule means no prompting
+
+
+class TestCrossDevice:
+    """Signatures trained on ONE device anchor on that device's identifier
+    values (every training packet carries the same UDID, so the value is an
+    invariant token) — they do not transfer to another handset.  Training on
+    TWO devices removes the values from the invariant set, leaving module
+    structure (endpoints, parameter names, even the shared IMEI TAC prefix),
+    which does generalize.  This is the paper's polymorphism argument made
+    testable."""
+
+    def test_single_device_signatures_do_not_transfer(self):
+        corpus_a = mini_corpus(seed=41, n_apps=40)
+        corpus_b = mini_corpus(seed=42, n_apps=40)
+        check_a = PayloadCheck(corpus_a.device.identity)
+        server = SignatureServer(check_a)
+        server.ingest(corpus_a.trace)
+        generation = server.generate(n_sample=min(50, len(server.suspicious) - 5), seed=0)
+        check_b = PayloadCheck(corpus_b.device.identity)
+        device_app = FlowControlApp(generation.signatures)
+        sensitive_b = [p for p in corpus_b.trace if check_b.is_sensitive(p)]
+        caught = sum(1 for p in sensitive_b if device_app.screen(p).flagged)
+        assert caught / len(sensitive_b) < 0.1
+
+    def test_multi_device_training_generalizes(self):
+        from repro.clustering.linkage import agglomerate
+        from repro.dataset.split import sample_packets
+        from repro.distance.matrix import distance_matrix
+        from repro.distance.packet import PacketDistance
+        from repro.signatures.generator import SignatureGenerator
+        from repro.signatures.matcher import SignatureMatcher
+
+        corpus_a = mini_corpus(seed=41, n_apps=40)
+        corpus_b = mini_corpus(seed=43, n_apps=40)
+        suspicious_a, __ = PayloadCheck(corpus_a.device.identity).split(corpus_a.trace)
+        suspicious_b, __ = PayloadCheck(corpus_b.device.identity).split(corpus_b.trace)
+        sample = sample_packets(suspicious_a, 70, seed=0) + sample_packets(
+            suspicious_b, 70, seed=0
+        )
+        matrix = distance_matrix(sample, PacketDistance.paper())
+        signatures = SignatureGenerator().from_dendrogram(agglomerate(matrix), sample)
+
+        corpus_c = mini_corpus(seed=45, n_apps=40)
+        check_c = PayloadCheck(corpus_c.device.identity)
+        sensitive_c = [p for p in corpus_c.trace if check_c.is_sensitive(p)]
+        normal_c = [p for p in corpus_c.trace if not check_c.is_sensitive(p)]
+        matcher = SignatureMatcher(signatures)
+        recall = sum(matcher.is_sensitive(p) for p in sensitive_c) / len(sensitive_c)
+        fp_rate = sum(matcher.is_sensitive(p) for p in normal_c) / len(normal_c)
+        assert recall > 0.2
+        assert fp_rate < 0.02

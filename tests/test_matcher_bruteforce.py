@@ -1,0 +1,56 @@
+"""Brute-force verification of conjunction matching semantics.
+
+The matcher claims: all tokens occur left-to-right in non-overlapping
+positions.  A naive recursive matcher defines the same predicate by
+enumeration; hypothesis drives both over random token sets and texts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signatures.conjunction import ConjunctionSignature
+
+alphabet = "ab="
+
+
+def brute_force_matches(tokens, text, start=0):
+    """Exhaustive: try every placement of the first token, recurse."""
+    if not tokens:
+        return True
+    token = tokens[0]
+    position = start
+    while True:
+        found = text.find(token, position)
+        if found < 0:
+            return False
+        if brute_force_matches(tokens[1:], text, found + len(token)):
+            return True
+        position = found + 1
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    tokens=st.lists(st.text(alphabet=alphabet, min_size=1, max_size=3), min_size=1, max_size=3),
+    text=st.text(alphabet=alphabet, max_size=16),
+)
+def test_greedy_matcher_agrees_or_is_stricter(tokens, text):
+    """The production matcher is greedy (first placement wins).  Greedy
+    left-to-right matching over plain substrings is complete for this
+    predicate when a match exists with earliest placements — which is
+    exactly the classic subsequence-of-substrings argument.  Verify
+    agreement with exhaustive search."""
+    signature = ConjunctionSignature(tokens=tuple(tokens))
+    assert signature.matches_text(text) == brute_force_matches(tokens, text)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tokens=st.lists(st.text(alphabet=alphabet, min_size=1, max_size=3), min_size=1, max_size=3),
+    text=st.text(alphabet=alphabet, max_size=16),
+)
+def test_token_hits_bounded_by_match(tokens, text):
+    signature = ConjunctionSignature(tokens=tuple(tokens))
+    hits = signature.token_hits(text)
+    assert 0 <= hits <= len(tokens)
+    if signature.matches_text(text):
+        assert hits == len(tokens)

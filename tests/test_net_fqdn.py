@@ -1,0 +1,60 @@
+"""FQDN normalization and registered-domain extraction."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.net.fqdn import Fqdn, normalize_host, registered_domain
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_host("Ads.AdMob.COM") == "ads.admob.com"
+
+    def test_strips_trailing_dot_and_space(self):
+        assert normalize_host(" example.com. ") == "example.com"
+
+    @pytest.mark.parametrize("bad", ["", ".", "a..b", "ex ample.com", "exa$mple.com"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            normalize_host(bad)
+
+    def test_allows_digits_and_dashes(self):
+        assert normalize_host("lh3-cache2.ggpht.com") == "lh3-cache2.ggpht.com"
+
+
+class TestRegisteredDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("ads.admob.com", "admob.com"),
+            ("googleads.g.doubleclick.net", "doubleclick.net"),
+            ("admob.com", "admob.com"),
+            ("search.yahooapis.jp", "yahooapis.jp"),
+            ("app.rakuten.co.jp", "rakuten.co.jp"),
+            ("a.b.c.rakuten.co.jp", "rakuten.co.jp"),
+            ("sp.mbga.jp", "mbga.jp"),
+            ("www.example.co.uk", "example.co.uk"),
+            ("jp", "jp"),
+        ],
+    )
+    def test_extraction(self, host, expected):
+        assert registered_domain(host) == expected
+
+    def test_case_insensitive(self):
+        assert registered_domain("ADS.ADMOB.COM") == "admob.com"
+
+
+class TestFqdn:
+    def test_parse_and_str(self):
+        f = Fqdn.parse("Ads.AdMob.Com")
+        assert str(f) == "ads.admob.com"
+
+    def test_labels(self):
+        assert Fqdn.parse("a.b.c").labels == ("a", "b", "c")
+
+    def test_registered(self):
+        assert Fqdn.parse("ads.admob.com").registered == "admob.com"
+
+    def test_subdomain(self):
+        assert Fqdn.parse("googleads.g.doubleclick.net").subdomain == "googleads.g"
+        assert Fqdn.parse("admob.com").subdomain == ""

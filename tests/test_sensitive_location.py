@@ -1,0 +1,159 @@
+"""Location leakage: geometry, tolerance scanning, permission gating."""
+
+from random import Random
+
+import pytest
+
+from repro.sensitive.location import GeoPoint, LocationCheck
+from tests.conftest import make_packet
+
+
+TOKYO = GeoPoint(35.6812, 139.7671)
+
+
+class TestGeoPoint:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_distance_zero_to_self(self):
+        assert TOKYO.distance_metres(TOKYO) == 0.0
+
+    def test_distance_known_pair(self):
+        # Tokyo Station to Shinjuku Station is ~6.3 km.
+        shinjuku = GeoPoint(35.6896, 139.7006)
+        assert TOKYO.distance_metres(shinjuku) == pytest.approx(6100, rel=0.1)
+
+    def test_distance_symmetric(self):
+        osaka = GeoPoint(34.7025, 135.4959)
+        assert TOKYO.distance_metres(osaka) == pytest.approx(
+            osaka.distance_metres(TOKYO), rel=1e-9
+        )
+
+    def test_jitter_stays_close(self):
+        rng = Random(3)
+        for __ in range(20):
+            moved = TOKYO.jittered(rng, max_metres=150)
+            assert TOKYO.distance_metres(moved) < 350
+
+    def test_wire_format_precision(self):
+        lat, lon = TOKYO.wire_format(precision=4)
+        assert lat == "35.6812"
+        assert lon == "139.7671"
+
+    def test_tokyo_area_sampler(self):
+        rng = Random(5)
+        point = GeoPoint.tokyo_area(rng)
+        assert TOKYO.distance_metres(point) < 60_000
+
+
+class TestLocationCheck:
+    def test_exact_coordinates_detected(self):
+        check = LocationCheck(TOKYO)
+        assert check.scan_text("lat=35.681200&lon=139.767100")
+
+    def test_jittered_coordinates_detected(self):
+        check = LocationCheck(TOKYO)
+        moved = TOKYO.jittered(Random(1))
+        lat, lon = moved.wire_format()
+        assert check.scan_text(f"glat={lat}&glon={lon}")
+
+    def test_truncated_precision_detected(self):
+        check = LocationCheck(TOKYO)
+        assert check.scan_text("g=35.681,139.767")
+
+    def test_lon_lat_order_detected(self):
+        check = LocationCheck(TOKYO)
+        assert check.scan_text("point=139.7671,35.6812")
+
+    def test_other_city_rejected(self):
+        check = LocationCheck(TOKYO)
+        assert not check.scan_text("lat=34.7025&lon=135.4959")  # Osaka
+
+    def test_random_decimals_rejected(self):
+        check = LocationCheck(TOKYO)
+        assert not check.scan_text("price=12.990&weight=3.500")
+
+    def test_version_strings_rejected(self):
+        check = LocationCheck(TOKYO)
+        assert not check.scan_text("v=1.2.3&build=4.11.200")
+
+    def test_radius_configurable(self):
+        nearby = GeoPoint(35.6900, 139.7671)  # ~1 km north
+        tight = LocationCheck(TOKYO, radius_metres=500)
+        loose = LocationCheck(TOKYO, radius_metres=2000)
+        lat, lon = nearby.wire_format()
+        text = f"lat={lat}&lon={lon}"
+        assert not tight.scan_text(text)
+        assert loose.scan_text(text)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            LocationCheck(TOKYO, radius_metres=0)
+
+    def test_packet_split(self):
+        check = LocationCheck(TOKYO)
+        lat, lon = TOKYO.wire_format()
+        leaking = make_packet(target=f"/ad?lat={lat}&lon={lon}")
+        clean = make_packet(target="/ad?x=1")
+        found, other = check.split([leaking, clean])
+        assert found == [leaking]
+        assert other == [clean]
+
+    def test_finding_reports_distance(self):
+        check = LocationCheck(TOKYO)
+        findings = check.scan_text("lat=35.681200&lon=139.767100")
+        assert findings[0].distance_metres < 50
+
+
+class TestDeviceIntegration:
+    def test_location_getter_gated(self):
+        from repro.android.device import Device
+        from repro.android.permissions import (
+            ACCESS_FINE_LOCATION,
+            INTERNET,
+            Manifest,
+        )
+        from repro.errors import PermissionDenied
+
+        device = Device.generate(Random(2))
+        allowed = Manifest(package="a", permissions=frozenset({INTERNET, ACCESS_FINE_LOCATION}))
+        denied = Manifest(package="b", permissions=frozenset({INTERNET}))
+        assert device.get_last_known_location(allowed) == device.location
+        with pytest.raises(PermissionDenied):
+            device.get_last_known_location(denied)
+
+    def test_corpus_leaks_gated_by_permission(self, small_corpus):
+        from repro.sensitive.location import LocationCheck
+
+        check = LocationCheck(small_corpus.device.location)
+        leaking, __ = check.split(small_corpus.trace)
+        apps_with_location = {
+            a.package
+            for a in small_corpus.apps
+            if any(p.name == "ACCESS_FINE_LOCATION" for p in a.manifest.permissions)
+        }
+        assert all(p.app_id in apps_with_location for p in leaking)
+
+    def test_corpus_has_location_leaks(self, small_corpus):
+        check = LocationCheck(small_corpus.device.location)
+        leaking, __ = check.split(small_corpus.trace)
+        assert leaking  # the AdMob/AMoAd/AdLantis models do send geo params
+
+    def test_signatures_catch_location_leaking_modules(self, small_corpus):
+        """Coordinates jitter per session, so they are not invariant tokens;
+        detection of the leaking packets still works because the ad request
+        carrying them also carries the module's stable structure."""
+        from repro.core.pipeline import DetectionPipeline
+
+        check = LocationCheck(small_corpus.device.location)
+        leaking, __ = check.split(small_corpus.trace)
+        pipeline = DetectionPipeline(small_corpus.trace, small_corpus.payload_check())
+        result = pipeline.run(n_sample=80, seed=4)
+        from repro.signatures.matcher import SignatureMatcher
+
+        matcher = SignatureMatcher(result.signatures)
+        caught = sum(matcher.is_sensitive(p) for p in leaking)
+        assert caught / len(leaking) > 0.5

@@ -1,0 +1,133 @@
+"""Payload check: plain, hashed, and encoded leak detection."""
+
+import hashlib
+
+from repro.sensitive.identifiers import IdentifierKind
+from repro.sensitive.payload_check import PayloadCheck
+from repro.sensitive.transforms import Transform
+from tests.conftest import make_packet
+
+
+class TestScanText:
+    def test_plain_imei_found(self, identity):
+        check = PayloadCheck(identity)
+        findings = check.scan_text(f"GET /x?imei={identity.imei} HTTP/1.1")
+        assert any(f.kind is IdentifierKind.IMEI and f.transform is Transform.PLAIN for f in findings)
+
+    def test_md5_android_id_found(self, identity):
+        check = PayloadCheck(identity)
+        digest = hashlib.md5(identity.android_id.encode()).hexdigest()
+        findings = check.scan_text(f"udid={digest}")
+        assert any(
+            f.kind is IdentifierKind.ANDROID_ID and f.transform is Transform.MD5
+            for f in findings
+        )
+
+    def test_sha1_imei_found(self, identity):
+        check = PayloadCheck(identity)
+        digest = hashlib.sha1(identity.imei.encode()).hexdigest()
+        assert any(f.label == "IMEI SHA1" for f in check.scan_text(f"d={digest}"))
+
+    def test_uppercase_hex_found(self, identity):
+        check = PayloadCheck(identity)
+        assert check.scan_text(f"aid={identity.android_id.upper()}")
+
+    def test_carrier_name_found(self, identity):
+        check = PayloadCheck(identity)
+        assert any(f.kind is IdentifierKind.CARRIER for f in check.scan_text(f"op={identity.carrier}"))
+
+    def test_carrier_lowercase_found(self, identity):
+        check = PayloadCheck(identity)
+        assert check.scan_text(f"op={identity.carrier.lower()}")
+
+    def test_carrier_hash_not_tracked(self, identity):
+        check = PayloadCheck(identity)
+        digest = hashlib.md5(identity.carrier.encode()).hexdigest()
+        assert not any(f.kind is IdentifierKind.CARRIER for f in check.scan_text(digest))
+
+    def test_clean_text_no_findings(self, identity):
+        check = PayloadCheck(identity)
+        assert check.scan_text("GET /news?page=3 HTTP/1.1\nsid=a1b2c3") == []
+
+    def test_offsets_reported(self, identity):
+        check = PayloadCheck(identity)
+        text = f"xx{identity.imei}"
+        findings = [f for f in check.scan_text(text) if f.transform is Transform.PLAIN]
+        assert findings[0].offset == 2
+
+    def test_multiple_occurrences_counted(self, identity):
+        check = PayloadCheck(identity)
+        text = f"{identity.imei}&again={identity.imei}"
+        imei_findings = [f for f in check.scan_text(text) if f.label == "IMEI"]
+        assert len(imei_findings) == 2
+
+    def test_labels(self, identity):
+        check = PayloadCheck(identity)
+        findings = check.scan_text(identity.imei)
+        assert findings[0].label == "IMEI"
+        digest = hashlib.md5(identity.imei.encode()).hexdigest()
+        findings = check.scan_text(digest)
+        assert findings[0].label == "IMEI MD5"
+
+
+class TestPackets:
+    def test_leak_in_query(self, identity):
+        check = PayloadCheck(identity)
+        packet = make_packet(target=f"/ad?imei={identity.imei}")
+        assert check.is_sensitive(packet)
+
+    def test_leak_in_cookie(self, identity):
+        check = PayloadCheck(identity)
+        packet = make_packet(cookie=f"muid={identity.android_id}")
+        assert check.is_sensitive(packet)
+
+    def test_leak_in_body(self, identity):
+        check = PayloadCheck(identity)
+        packet = make_packet(body=f"iccid={identity.sim_serial}".encode())
+        assert check.is_sensitive(packet)
+
+    def test_clean_packet(self, identity):
+        check = PayloadCheck(identity)
+        assert not check.is_sensitive(make_packet(target="/img/banner.png?t=123"))
+
+    def test_leak_labels(self, identity):
+        check = PayloadCheck(identity)
+        packet = make_packet(target=f"/x?imei={identity.imei}&aid={identity.android_id}")
+        assert check.leak_labels(packet) == {"IMEI", "ANDROID_ID"}
+
+    def test_split_partitions(self, identity):
+        check = PayloadCheck(identity)
+        leaky = make_packet(target=f"/x?imei={identity.imei}")
+        clean = make_packet(target="/x?q=1")
+        suspicious, normal = check.split([leaky, clean, clean])
+        assert suspicious == [leaky]
+        assert len(normal) == 2
+
+    def test_iter_findings_skips_clean(self, identity):
+        check = PayloadCheck(identity)
+        leaky = make_packet(target=f"/x?imei={identity.imei}")
+        clean = make_packet(target="/x?q=1")
+        results = list(check.iter_findings([clean, leaky, clean]))
+        assert len(results) == 1
+        assert results[0][0] is leaky
+
+
+class TestTransformsConfig:
+    def test_plain_only_misses_hashes(self, identity):
+        check = PayloadCheck(identity, transforms=(Transform.PLAIN,))
+        digest = hashlib.md5(identity.imei.encode()).hexdigest()
+        assert not check.scan_text(digest)
+        assert check.scan_text(identity.imei)
+
+    def test_another_devices_ids_not_flagged(self, identity):
+        from random import Random
+
+        from repro.sensitive.identifiers import DeviceIdentity
+
+        other = DeviceIdentity.generate(Random(999))
+        check = PayloadCheck(identity)
+        findings = [
+            f for f in check.scan_text(f"imei={other.imei}&aid={other.android_id}")
+            if f.kind is not IdentifierKind.CARRIER  # carriers may coincide
+        ]
+        assert not findings

@@ -1,0 +1,89 @@
+"""Conjunction signature semantics."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.signatures.conjunction import ConjunctionSignature
+from tests.conftest import make_packet
+
+
+def sig(*tokens, scope=""):
+    return ConjunctionSignature(tokens=tokens, scope_domain=scope)
+
+
+class TestConstruction:
+    def test_requires_tokens(self):
+        with pytest.raises(SignatureError):
+            ConjunctionSignature(tokens=())
+
+    def test_rejects_empty_token(self):
+        with pytest.raises(SignatureError):
+            ConjunctionSignature(tokens=("ok", ""))
+
+    def test_total_token_length(self):
+        assert sig("abc", "de").total_token_length == 5
+
+
+class TestTextMatching:
+    def test_all_tokens_in_order(self):
+        assert sig("alpha", "beta").matches_text("..alpha..beta..")
+
+    def test_order_violation_fails(self):
+        assert not sig("alpha", "beta").matches_text("beta..alpha")
+
+    def test_missing_token_fails(self):
+        assert not sig("alpha", "beta").matches_text("alpha only")
+
+    def test_overlap_not_allowed(self):
+        # Tokens must occupy disjoint, ordered regions.
+        assert not sig("abcd", "cdef").matches_text("abcdef")
+        assert sig("abcd", "cdef").matches_text("abcd..cdef")
+
+    def test_token_hits_partial(self):
+        s = sig("alpha", "beta", "gamma")
+        assert s.token_hits("alpha beta") == 2
+        assert s.token_hits("gamma") == 0  # order: alpha missing stops the scan
+        assert s.token_hits("alpha beta gamma") == 3
+
+
+class TestPacketMatching:
+    def test_unscoped_matches_any_destination(self):
+        s = sig("udid=abc")
+        p = make_packet(host="x.anything.net", target="/p?udid=abc")
+        assert s.matches(p)
+
+    def test_scope_restricts_domain(self):
+        s = sig("udid=abc", scope="admob.com")
+        hit = make_packet(host="r.admob.com", target="/p?udid=abc")
+        miss = make_packet(host="x.other.net", target="/p?udid=abc")
+        assert s.matches(hit)
+        assert not s.matches(miss)
+
+    def test_scope_is_registered_domain(self):
+        s = sig("udid=abc", scope="doubleclick.net")
+        p = make_packet(host="googleads.g.doubleclick.net", target="/p?udid=abc")
+        assert s.matches(p)
+
+    def test_matches_cookie_and_body(self):
+        s = sig("muid=ffff", "imei=1234567")
+        p = make_packet(cookie="muid=ffff", body=b"imei=1234567")
+        assert s.matches(p)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        s = ConjunctionSignature(
+            tokens=("a=1x", "b=2y"), scope_domain="nend.net", source_cluster=7, label="AID"
+        )
+        again = ConjunctionSignature.from_dict(s.to_dict())
+        assert again == s
+
+    def test_from_dict_missing_tokens(self):
+        with pytest.raises(SignatureError):
+            ConjunctionSignature.from_dict({"scope_domain": "x.com"})
+
+    def test_describe_readable(self):
+        s = sig("averyveryverylongtokenvaluehere123", scope="admob.com")
+        text = s.describe()
+        assert "admob.com" in text
+        assert "..." in text  # long token truncated

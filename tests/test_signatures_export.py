@@ -1,0 +1,115 @@
+"""Signature exporters: regex equivalence, mitmproxy script, Snort rules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.export import (
+    matches_via_regex,
+    to_mitmproxy_script,
+    to_regex,
+    to_snort_rules,
+)
+
+
+def sig(*tokens, scope=""):
+    return ConjunctionSignature(tokens=tokens, scope_domain=scope)
+
+
+class TestRegexExport:
+    def test_simple(self):
+        # re.escape leaves '=' alone on modern Python; the tokens are
+        # joined by non-greedy gap wildcards.
+        assert to_regex(sig("a=1", "b=2")) == "a=1.*?b=2"
+
+    def test_special_characters_escaped(self):
+        pattern = to_regex(sig("path?x=[1]"))
+        assert matches_via_regex(sig("path?x=[1]"), "GET /path?x=[1] HTTP")
+
+    def test_matches_newlines(self):
+        signature = sig("line1tok", "line2tok")
+        assert matches_via_regex(signature, "xx line1tok\ncookie\nline2tok yy")
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        tokens=st.lists(st.text(alphabet="ab=&.", min_size=1, max_size=4), min_size=1, max_size=3),
+        text=st.text(alphabet="ab=&.\n", max_size=24),
+    )
+    def test_regex_equivalent_to_matcher(self, tokens, text):
+        signature = ConjunctionSignature(tokens=tuple(tokens))
+        assert matches_via_regex(signature, text) == signature.matches_text(text)
+
+
+class TestMitmproxyScript:
+    def test_script_is_valid_python(self):
+        script = to_mitmproxy_script([sig("udid=abc", scope="admob.com"), sig("imei=1")])
+        compiled = compile(script, "<generated>", "exec")
+        namespace: dict = {}
+        exec(compiled, namespace)  # noqa: S102 - our own generated code
+        assert "request" in namespace
+        assert len(namespace["SIGNATURES"]) == 2
+
+    def test_generated_domain_helper(self):
+        script = to_mitmproxy_script([sig("x=1y")])
+        namespace: dict = {}
+        exec(compile(script, "<g>", "exec"), namespace)  # noqa: S102
+        assert namespace["_registered_domain"]("ads.admob.com") == "admob.com"
+        assert namespace["_registered_domain"]("app.rakuten.co.jp") == "rakuten.co.jp"
+
+    def test_generated_matcher_flags_flow(self):
+        script = to_mitmproxy_script([sig("udid=abc123", scope="adnet.com")])
+        namespace: dict = {}
+        exec(compile(script, "<g>", "exec"), namespace)  # noqa: S102
+
+        class FakeHeaders(dict):
+            def get(self, key, default=""):
+                return super().get(key, default)
+
+        class FakeRequest:
+            method = "GET"
+            path = "/x?udid=abc123"
+            host = "ads.adnet.com"
+            headers = FakeHeaders()
+
+            def get_text(self, strict=True):
+                return ""
+
+        class FakeFlow:
+            request = FakeRequest()
+            metadata: dict = {}
+
+        flow = FakeFlow()
+        namespace["request"](flow)
+        assert flow.metadata.get("sensitive_leak") is True
+
+
+class TestSnortRules:
+    def test_one_rule_per_signature(self):
+        rules = to_snort_rules([sig("a=111"), sig("b=222")])
+        lines = rules.splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("alert tcp") for line in lines)
+
+    def test_sids_sequential(self):
+        rules = to_snort_rules([sig("a=111"), sig("b=222")], base_sid=5000)
+        assert "sid:5000" in rules
+        assert "sid:5001" in rules
+
+    def test_ordered_tokens_chained_with_distance(self):
+        rules = to_snort_rules([sig("first=1", "second=2")])
+        assert rules.index('content:"first') < rules.index('content:"second')
+        assert "distance:0" in rules
+
+    def test_scope_in_header_clause(self):
+        rules = to_snort_rules([sig("x=123", scope="admob.com")])
+        assert "http_header" in rules
+        assert "admob.com" in rules
+
+    def test_nonprintable_bytes_hex_encoded(self):
+        rules = to_snort_rules([ConjunctionSignature(tokens=("tok\nen",))])
+        assert "|0A|" in rules
+
+    def test_quote_and_semicolon_escaped_as_hex(self):
+        rules = to_snort_rules([ConjunctionSignature(tokens=('va"l;ue',))])
+        assert "|22|" in rules
+        assert "|3B|" in rules

@@ -1,0 +1,115 @@
+"""Signature generation from clusters and dendrograms."""
+
+import pytest
+
+from repro.clustering.linkage import agglomerate
+from repro.distance.matrix import distance_matrix
+from repro.distance.packet import PacketDistance
+from repro.errors import SignatureError
+from repro.signatures.generator import GeneratorConfig, SignatureGenerator, deduplicate
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.tokens import TokenFilter
+from tests.conftest import make_packet
+
+
+def ad_packet(seq, udid="deadbeef11223344"):
+    return make_packet(
+        host="api.ad-maker.info",
+        ip="219.94.128.7",
+        target=f"/api/v2/imp?sid=PUBTOKEN&udid={udid}&seq={seq}",
+    )
+
+
+def other_packet(page):
+    return make_packet(
+        host="m.naver.jp", ip="125.209.222.10", target=f"/matome/feed?page={page}&fmt=json"
+    )
+
+
+class TestSignatureForCluster:
+    def test_extracts_udid_token(self):
+        generator = SignatureGenerator()
+        signature = generator.signature_for_cluster([ad_packet(1), ad_packet(2), ad_packet(3)])
+        assert signature is not None
+        assert any("udid=deadbeef11223344" in t for t in signature.tokens)
+
+    def test_scoped_to_domain_when_coherent(self):
+        signature = SignatureGenerator().signature_for_cluster([ad_packet(1), ad_packet(2)])
+        assert signature.scope_domain == "ad-maker.info"
+
+    def test_unscoped_when_mixed_domains(self):
+        p = ad_packet(1)
+        q = make_packet(host="x.elsewhere.net", target="/api/v2/imp?sid=PUBTOKEN&udid=deadbeef11223344&seq=9")
+        signature = SignatureGenerator().signature_for_cluster([p, q])
+        assert signature is not None
+        assert signature.scope_domain == ""
+
+    def test_small_cluster_skipped(self):
+        assert SignatureGenerator().signature_for_cluster([ad_packet(1)]) is None
+
+    def test_nothing_shared_returns_none(self):
+        cfg = GeneratorConfig(token_filter=TokenFilter(min_length=12))
+        p = make_packet(host="a.example.com", target="/aaaa?x=111111")
+        q = make_packet(host="a.example.com", target="/bbbb?y=222222")
+        assert SignatureGenerator(cfg).signature_for_cluster([p, q]) is None
+
+    def test_max_tokens_cap_keeps_longest(self):
+        cfg = GeneratorConfig(max_tokens=2)
+        signature = SignatureGenerator(cfg).signature_for_cluster([ad_packet(1), ad_packet(2)])
+        assert signature is not None
+        assert len(signature.tokens) <= 2
+
+    def test_source_cluster_recorded(self):
+        signature = SignatureGenerator().signature_for_cluster([ad_packet(i) for i in range(5)])
+        assert signature.source_cluster == 5
+
+
+class TestFromDendrogram:
+    def test_end_to_end_two_modules(self):
+        packets = [ad_packet(i) for i in range(4)] + [other_packet(i) for i in range(4)]
+        matrix = distance_matrix(packets, PacketDistance.paper())
+        dendrogram = agglomerate(matrix)
+        signatures = SignatureGenerator().from_dendrogram(dendrogram, packets)
+        assert signatures
+        domains = {s.scope_domain for s in signatures}
+        assert "ad-maker.info" in domains
+
+    def test_leaf_count_mismatch_rejected(self):
+        packets = [ad_packet(i) for i in range(3)]
+        matrix = distance_matrix(packets, PacketDistance.paper())
+        dendrogram = agglomerate(matrix)
+        with pytest.raises(SignatureError):
+            SignatureGenerator().from_dendrogram(dendrogram, packets[:2])
+
+    def test_generated_signatures_match_their_cluster(self):
+        packets = [ad_packet(i) for i in range(4)]
+        matrix = distance_matrix(packets, PacketDistance.paper())
+        dendrogram = agglomerate(matrix)
+        signatures = SignatureGenerator().from_dendrogram(dendrogram, packets)
+        assert signatures
+        matched = [p for p in packets if any(s.matches(p) for s in signatures)]
+        assert len(matched) == len(packets)
+
+
+class TestDeduplicate:
+    def test_subsumed_dropped(self):
+        broad = ConjunctionSignature(tokens=("udid=",), scope_domain="")
+        narrow = ConjunctionSignature(tokens=("udid=deadbeef", "seq="), scope_domain="x.com")
+        kept = deduplicate([broad, narrow])
+        assert kept == [broad]
+
+    def test_different_scopes_both_kept(self):
+        a = ConjunctionSignature(tokens=("udid=abc",), scope_domain="a.com")
+        b = ConjunctionSignature(tokens=("udid=abc",), scope_domain="b.com")
+        assert len(deduplicate([a, b])) == 2
+
+    def test_unrelated_tokens_both_kept(self):
+        a = ConjunctionSignature(tokens=("alpha=1",))
+        b = ConjunctionSignature(tokens=("beta=2",))
+        assert len(deduplicate([a, b])) == 2
+
+    def test_scoped_not_allowed_to_subsume_unscoped(self):
+        scoped = ConjunctionSignature(tokens=("udid=",), scope_domain="a.com")
+        unscoped = ConjunctionSignature(tokens=("udid=abc",), scope_domain="")
+        kept = deduplicate([scoped, unscoped])
+        assert len(kept) == 2

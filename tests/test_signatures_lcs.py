@@ -1,0 +1,107 @@
+"""Suffix automaton and common-substring machinery, checked brute-force."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signatures.lcs import (
+    SuffixAutomaton,
+    longest_common_substring,
+    maximal_common_spans,
+)
+
+small_text = st.text(alphabet="abc=&1", max_size=16)
+
+
+def brute_lcs_length(a, b):
+    best = 0
+    for i in range(len(a)):
+        for j in range(i + 1, len(a) + 1):
+            if a[i:j] in b:
+                best = max(best, j - i)
+    return best
+
+
+class TestSuffixAutomaton:
+    def test_contains_all_substrings(self):
+        text = "udid=abc123&x=1"
+        automaton = SuffixAutomaton(text)
+        for i in range(len(text)):
+            for j in range(i + 1, len(text) + 1):
+                assert automaton.contains(text[i:j])
+
+    def test_does_not_contain_foreign(self):
+        automaton = SuffixAutomaton("aaabbb")
+        assert not automaton.contains("ba" * 3)
+        assert not automaton.contains("c")
+
+    def test_empty_needle_contained(self):
+        assert SuffixAutomaton("xyz").contains("")
+
+    def test_match_lengths_known(self):
+        automaton = SuffixAutomaton("abcab")
+        # query "zabz": longest matches ending at each position
+        assert automaton.match_lengths("zabz") == [0, 1, 2, 0]
+
+    @given(small_text, small_text)
+    def test_contains_agrees_with_in(self, text, needle):
+        automaton = SuffixAutomaton(text)
+        assert automaton.contains(needle) == (needle in text)
+
+
+class TestLcs:
+    def test_known(self):
+        assert longest_common_substring("udid=abc123&x=1", "y=9&udid=abc123") == "udid=abc123"
+
+    def test_no_overlap(self):
+        assert longest_common_substring("aaa", "bbb") == ""
+
+    def test_empty_operands(self):
+        assert longest_common_substring("", "abc") == ""
+        assert longest_common_substring("abc", "") == ""
+
+    def test_full_containment(self):
+        assert longest_common_substring("abc", "xxabcxx") == "abc"
+
+    @given(small_text, small_text)
+    def test_length_matches_brute_force(self, a, b):
+        result = longest_common_substring(a, b)
+        assert len(result) == brute_lcs_length(a, b)
+        if result:
+            assert result in a and result in b
+
+
+class TestMaximalSpans:
+    def test_single_common_region(self):
+        spans = maximal_common_spans("xxHELLOxx", "yyHELLOyy", 2)
+        texts = {"xxHELLOxx"[s.start:s.end] for s in spans}
+        assert "HELLO" in texts
+
+    def test_min_length_filters(self):
+        spans = maximal_common_spans("ab", "ab", 3)
+        assert spans == []
+
+    def test_no_common(self):
+        assert maximal_common_spans("aaa", "bbb", 1) == []
+
+    def test_spans_are_maximal(self):
+        spans = maximal_common_spans("abcdef", "abcdef", 1)
+        assert len(spans) == 1
+        assert (spans[0].start, spans[0].end) == (0, 6)
+
+    def test_empty_inputs(self):
+        assert maximal_common_spans("", "abc", 1) == []
+        assert maximal_common_spans("abc", "", 1) == []
+
+    @given(small_text, small_text)
+    def test_every_span_text_occurs_in_other(self, a, b):
+        for span in maximal_common_spans(a, b, 2):
+            assert a[span.start:span.end] in b
+            assert span.length >= 2
+
+    @given(small_text, small_text)
+    def test_no_span_contains_another(self, a, b):
+        spans = maximal_common_spans(a, b, 1)
+        for i, s in enumerate(spans):
+            for j, t in enumerate(spans):
+                if i != j:
+                    assert not (s.start <= t.start and t.end <= s.end)

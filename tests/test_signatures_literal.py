@@ -1,0 +1,89 @@
+"""The literal §IV-E generator vs the cut-based shortcut."""
+
+import pytest
+
+from repro.clustering.linkage import agglomerate
+from repro.distance.matrix import distance_matrix
+from repro.distance.packet import PacketDistance
+from repro.errors import SignatureError
+from repro.signatures.generator import SignatureGenerator
+from repro.signatures.literal import LiteralGenerator
+from repro.signatures.matcher import SignatureMatcher
+from tests.conftest import make_packet
+
+
+def module_packet(module, seq):
+    return make_packet(
+        host=f"ads.{module}.example",
+        ip="198.51.100.9",
+        target=f"/{module}/imp?sid=PUB&udid=deadbeef1122{module[:4]}&seq={seq}",
+    )
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return [module_packet("alpha", i) for i in range(5)] + [
+        module_packet("betaz", i) for i in range(5)
+    ]
+
+
+@pytest.fixture(scope="module")
+def dendrogram(sample):
+    return agglomerate(distance_matrix(sample, PacketDistance.paper()))
+
+
+class TestLiteralGenerator:
+    def test_produces_signatures(self, dendrogram, sample):
+        signatures = LiteralGenerator().from_dendrogram(dendrogram, sample)
+        assert signatures
+        domains = {s.scope_domain for s in signatures}
+        assert "alpha.example" in domains
+        assert "betaz.example" in domains
+
+    def test_covers_everything_cut_based_covers(self, dendrogram, sample):
+        literal = SignatureMatcher(LiteralGenerator().from_dendrogram(dendrogram, sample))
+        cut = SignatureMatcher(SignatureGenerator().from_dendrogram(dendrogram, sample))
+        for packet in sample:
+            if cut.is_sensitive(packet):
+                assert literal.is_sensitive(packet)
+
+    def test_no_boilerplate_only_output(self, dendrogram, sample):
+        signatures = LiteralGenerator().from_dendrogram(dendrogram, sample)
+        for signature in signatures:
+            assert signature.total_token_length >= 5
+
+    def test_mismatch_rejected(self, dendrogram, sample):
+        with pytest.raises(SignatureError):
+            LiteralGenerator().from_dendrogram(dendrogram, sample[:-1])
+
+    def test_max_nodes_caps_output(self, dendrogram, sample):
+        capped = LiteralGenerator(max_nodes=1).from_dendrogram(dendrogram, sample)
+        full = LiteralGenerator().from_dendrogram(dendrogram, sample)
+        assert len(capped) <= len(full)
+
+    def test_dedup_applied(self, dendrogram, sample):
+        """Parent and child nodes of a homogeneous module produce subsumable
+        signatures; the output must not contain redundant pairs."""
+        from repro.signatures.generator import _subsumes
+
+        signatures = LiteralGenerator().from_dendrogram(dendrogram, sample)
+        for i, a in enumerate(signatures):
+            for j, b in enumerate(signatures):
+                if i != j:
+                    assert not _subsumes(a, b), (a, b)
+
+
+class TestOnCorpus:
+    def test_literal_vs_cut_detection(self, small_corpus, small_split):
+        """The literal reading reaches at least the cut-based recall (it
+        emits a superset of cluster granularities) at a bounded FP cost."""
+        suspicious, normal = small_split
+        sample = list(suspicious)[:80]
+        matrix = distance_matrix(sample, PacketDistance.paper())
+        dendrogram = agglomerate(matrix)
+        literal = SignatureMatcher(LiteralGenerator().from_dendrogram(dendrogram, sample))
+        cut = SignatureMatcher(SignatureGenerator().from_dendrogram(dendrogram, sample))
+        recall = lambda m: sum(m.is_sensitive(p) for p in suspicious) / len(suspicious)
+        fp = lambda m: sum(m.is_sensitive(p) for p in list(normal)[:2000]) / 2000
+        assert recall(literal) >= recall(cut) - 0.02
+        assert fp(literal) <= fp(cut) + 0.05

@@ -1,0 +1,98 @@
+"""Exact and probabilistic signature matching."""
+
+import pytest
+
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.matcher import ProbabilisticMatcher, SignatureMatcher
+from tests.conftest import make_packet
+
+
+def sig(*tokens, scope=""):
+    return ConjunctionSignature(tokens=tokens, scope_domain=scope)
+
+
+class TestExactMatcher:
+    def test_first_firing_signature_reported(self):
+        matcher = SignatureMatcher([sig("nomatch==="), sig("udid=abc")])
+        result = matcher.match(make_packet(target="/p?udid=abc"))
+        assert result.matched
+        assert result.signature.tokens == ("udid=abc",)
+        assert result.score == 1.0
+
+    def test_clean_packet(self):
+        matcher = SignatureMatcher([sig("udid=abc")])
+        result = matcher.match(make_packet(target="/p?x=1"))
+        assert not result.matched
+        assert result.signature is None
+
+    def test_domain_index_scopes_candidates(self):
+        matcher = SignatureMatcher(
+            [sig("token=one", scope="admob.com"), sig("token=one", scope="nend.net")]
+        )
+        p = make_packet(host="r.admob.com", target="/p?token=one")
+        candidates = matcher.candidates_for(p)
+        assert len(candidates) == 1
+        assert candidates[0].scope_domain == "admob.com"
+
+    def test_unscoped_always_candidate(self):
+        matcher = SignatureMatcher([sig("anything=x")])
+        p = make_packet(host="whatever.org")
+        assert len(matcher.candidates_for(p)) == 1
+
+    def test_screen_order(self):
+        matcher = SignatureMatcher([sig("udid=abc")])
+        packets = [make_packet(target="/p?udid=abc"), make_packet(target="/q?x=1")]
+        results = matcher.screen(packets)
+        assert [r.matched for r in results] == [True, False]
+
+    def test_detected_filters(self):
+        matcher = SignatureMatcher([sig("udid=abc")])
+        leaky = make_packet(target="/p?udid=abc")
+        clean = make_packet(target="/q?x=1")
+        assert matcher.detected([leaky, clean, leaky]) == [leaky, leaky]
+
+    def test_len(self):
+        assert len(SignatureMatcher([sig("a=bcd"), sig("e=fgh")])) == 2
+
+
+class TestProbabilisticMatcher:
+    def test_threshold_one_equals_exact(self):
+        signatures = [sig("alpha=1", "beta=2")]
+        exact = SignatureMatcher(signatures)
+        prob = ProbabilisticMatcher(signatures, threshold=1.0)
+        full = make_packet(target="/p?alpha=1&beta=2")
+        partial = make_packet(target="/p?alpha=1")
+        assert exact.match(full).matched == prob.match(full).matched is True
+        assert exact.match(partial).matched == prob.match(partial).matched is False
+
+    def test_partial_match_above_threshold(self):
+        # "alpha=1" is 7 of 14 total chars -> score 0.5
+        matcher = ProbabilisticMatcher([sig("alpha=1", "beta=2x")], threshold=0.5)
+        result = matcher.match(make_packet(target="/p?alpha=1"))
+        assert result.matched
+        assert result.score == pytest.approx(0.5)
+
+    def test_partial_match_below_threshold(self):
+        matcher = ProbabilisticMatcher([sig("alpha=1", "beta=2x")], threshold=0.8)
+        assert not matcher.match(make_packet(target="/p?alpha=1")).matched
+
+    def test_score_weighs_token_length(self):
+        s = sig("zq", "longtoken=abcdef")
+        matcher = ProbabilisticMatcher([s], threshold=0.5)
+        # only the long token matches: score 16/18
+        result = matcher.match(make_packet(target="/p?longtoken=abcdef"))
+        assert result.matched
+        assert result.score > 0.8
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ProbabilisticMatcher([sig("x=yz")], threshold=0.0)
+        with pytest.raises(ValueError):
+            ProbabilisticMatcher([sig("x=yz")], threshold=1.5)
+
+    def test_best_scoring_signature_wins(self):
+        weak = sig("alpha=1", "zzzz=9")
+        strong = sig("alpha=1", "beta=2")
+        matcher = ProbabilisticMatcher([weak, strong], threshold=0.4)
+        result = matcher.match(make_packet(target="/p?alpha=1&beta=2"))
+        assert result.signature is strong

@@ -1,0 +1,110 @@
+"""Noise-aware (Hamsa-style) generation."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.signatures.noiseaware import NoiseAwareGenerator
+from tests.conftest import make_packet
+
+
+def normal_pool():
+    return [make_packet(target=f"/feed?v=1&session=tok{i}&page={i}") for i in range(50)]
+
+
+def leak_cluster():
+    return [
+        make_packet(
+            host="ads.adnet.com",
+            target=f"/feed?v=1&session=tok{i}&udid=deadbeef11223344",
+        )
+        for i in range(4)
+    ]
+
+
+class TestConstruction:
+    def test_needs_normal_pool(self):
+        with pytest.raises(SignatureError):
+            NoiseAwareGenerator([])
+
+    def test_budget_validated(self):
+        with pytest.raises(SignatureError):
+            NoiseAwareGenerator(normal_pool(), max_token_fp=1.5)
+
+
+class TestTokenNoise:
+    def test_ubiquitous_token_noise_one(self):
+        generator = NoiseAwareGenerator(normal_pool())
+        assert generator.token_noise("/feed?v=1&session=") == 1.0
+
+    def test_absent_token_noise_zero(self):
+        generator = NoiseAwareGenerator(normal_pool())
+        assert generator.token_noise("udid=deadbeef11223344") == 0.0
+
+
+class TestGeneration:
+    def test_noisy_tokens_stripped(self):
+        generator = NoiseAwareGenerator(normal_pool(), max_token_fp=0.01)
+        signature = generator.signature_for_cluster(leak_cluster())
+        assert signature is not None
+        for token in signature.tokens:
+            assert "/feed?v=1" not in token  # ubiquitous REST idiom removed
+        assert any("udid=deadbeef11223344" in token for token in signature.tokens)
+
+    def test_all_noisy_cluster_rejected(self):
+        """A cluster whose only common content is HTTP boilerplate must
+        produce nothing."""
+        generator = NoiseAwareGenerator(normal_pool(), max_token_fp=0.01)
+        # Session values share no substring with each other, so the only
+        # cluster-common content is the ubiquitous REST idiom.
+        cluster = [
+            make_packet(target=f"/feed?v=1&session={value}")
+            for value in ("qqqq11", "wwww22", "rrrr33")
+        ]
+        assert generator.signature_for_cluster(cluster) is None
+
+    def test_quiet_signature_untouched(self):
+        generator = NoiseAwareGenerator(normal_pool(), max_token_fp=0.01)
+        from repro.signatures.generator import SignatureGenerator
+
+        plain = SignatureGenerator().signature_for_cluster(leak_cluster())
+        noise_aware = generator.signature_for_cluster(leak_cluster())
+        # The leak token survives either way.
+        assert any("udid=" in t for t in plain.tokens)
+        assert any("udid=" in t for t in noise_aware.tokens)
+
+    def test_generous_budget_keeps_everything(self):
+        generator = NoiseAwareGenerator(normal_pool(), max_token_fp=1.0)
+        from repro.signatures.generator import SignatureGenerator
+
+        assert generator.signature_for_cluster(leak_cluster()) == SignatureGenerator(
+        ).signature_for_cluster(leak_cluster())
+
+
+class TestOnCorpus:
+    def test_fixes_pathological_cut(self, small_corpus, small_split):
+        """At the pathological 0.6 cut, plain generation admits a
+        match-most signature; the noise budget removes it."""
+        from repro.clustering.linkage import agglomerate
+        from repro.dataset.split import sample_packets
+        from repro.distance.matrix import distance_matrix
+        from repro.distance.packet import PacketDistance
+        from repro.signatures.generator import GeneratorConfig, SignatureGenerator
+        from repro.signatures.matcher import SignatureMatcher
+
+        suspicious, normal = small_split
+        sample = sample_packets(suspicious, 80, seed=2)
+        matrix = distance_matrix(sample, PacketDistance.paper())
+        dendrogram = agglomerate(matrix)
+        config = GeneratorConfig(cut_fraction=0.6)
+
+        plain = SignatureGenerator(config).from_dendrogram(dendrogram, sample)
+        noise_pool = sample_packets(normal, 400, seed=3)
+        aware = NoiseAwareGenerator(noise_pool, max_token_fp=0.01, config=config)
+        safe = aware.from_dendrogram(dendrogram, sample)
+
+        normal_eval = list(normal)[:2000]
+        fp = lambda sigs: sum(
+            SignatureMatcher(sigs).is_sensitive(p) for p in normal_eval
+        ) / len(normal_eval)
+        assert fp(safe) <= fp(plain)
+        assert fp(safe) < 0.05

@@ -1,0 +1,60 @@
+"""Signature set JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.store import SignatureStore
+
+
+def sigs():
+    return [
+        ConjunctionSignature(tokens=("udid=abc", "seq="), scope_domain="admob.com"),
+        ConjunctionSignature(tokens=("imei=1234",), label="IMEI"),
+    ]
+
+
+class TestRoundtrip:
+    def test_dumps_loads(self):
+        text = SignatureStore.dumps(sigs())
+        again = SignatureStore.loads(text)
+        assert again == sigs()
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "signatures.json"
+        SignatureStore.save(sigs(), path)
+        assert SignatureStore.load(path) == sigs()
+
+    def test_dumps_is_stable(self):
+        assert SignatureStore.dumps(sigs()) == SignatureStore.dumps(sigs())
+
+    def test_empty_set(self):
+        assert SignatureStore.loads(SignatureStore.dumps([])) == []
+
+
+class TestValidation:
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SignatureError):
+            SignatureStore.loads("{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SignatureError):
+            SignatureStore.loads("[1, 2]")
+
+    def test_rejects_wrong_version(self):
+        document = json.loads(SignatureStore.dumps(sigs()))
+        document["format_version"] = 99
+        with pytest.raises(SignatureError):
+            SignatureStore.loads(json.dumps(document))
+
+    def test_rejects_count_mismatch(self):
+        document = json.loads(SignatureStore.dumps(sigs()))
+        document["count"] = 5
+        with pytest.raises(SignatureError):
+            SignatureStore.loads(json.dumps(document))
+
+    def test_rejects_missing_signatures_key(self):
+        with pytest.raises(SignatureError):
+            SignatureStore.loads(json.dumps({"format_version": 1, "count": 0}))

@@ -1,0 +1,47 @@
+"""Traffic collector: independence of per-app streams."""
+
+from random import Random
+
+from repro.android.device import Device
+from repro.android.market import AppMarket, MarketConfig
+from repro.simulation.collector import TrafficCollector
+
+
+def build(n=12, seed=0):
+    apps = AppMarket(MarketConfig(n_apps=n), seed=seed).build()
+    device = Device.generate(Random(seed))
+    return apps, device
+
+
+class TestCollect:
+    def test_collects_all_apps(self):
+        apps, device = build()
+        trace = TrafficCollector(device, seed=1).collect(apps)
+        assert {p.app_id for p in trace} == {a.package for a in apps}
+
+    def test_progress_callback(self):
+        apps, device = build()
+        seen = []
+        TrafficCollector(device, seed=1).collect(apps, progress=lambda d, t: seen.append((d, t)))
+        assert seen[-1] == (len(apps), len(apps))
+        assert len(seen) == len(apps)
+
+    def test_per_app_streams_independent(self):
+        """Removing one app must not change the others' packets."""
+        apps, device = build()
+        full = TrafficCollector(device, seed=1).collect(apps)
+        subset = TrafficCollector(device, seed=1).collect(apps[1:])
+        full_by_app = {}
+        for p in full:
+            full_by_app.setdefault(p.app_id, []).append(p.request.target)
+        subset_by_app = {}
+        for p in subset:
+            subset_by_app.setdefault(p.app_id, []).append(p.request.target)
+        for app in apps[1:]:
+            assert full_by_app[app.package] == subset_by_app[app.package]
+
+    def test_seed_changes_traffic(self):
+        apps, device = build()
+        a = TrafficCollector(device, seed=1).collect(apps)
+        b = TrafficCollector(device, seed=2).collect(apps)
+        assert [p.request.target for p in a] != [p.request.target for p in b]

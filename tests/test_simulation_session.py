@@ -1,0 +1,80 @@
+"""Session driver: durations, volumes, interleaving."""
+
+from random import Random
+
+import pytest
+
+from repro.android.app import Application
+from repro.android.admodules import ADMAKER
+from repro.android.device import Device
+from repro.android.permissions import INTERNET, Manifest, READ_PHONE_STATE
+from repro.android.services import Service
+from repro.android.webapi import make_own_backend
+from repro.simulation.session import SessionConfig, SessionDriver
+
+
+@pytest.fixture
+def device():
+    return Device.generate(Random(2))
+
+
+def build_app(with_ad=True, loner=False):
+    package = "jp.test.session"
+    manifest = Manifest(package=package, permissions=frozenset({INTERNET, READ_PHONE_STATE}))
+    app = Application(package=package, manifest=manifest)
+    rng = Random(0)
+    if loner:
+        app.own_services.append(make_own_backend(package, rng))
+        return app
+    if with_ad:
+        app.services.append(Service(ADMAKER))
+    app.own_services.append(make_own_backend(package, rng))
+    return app
+
+
+class TestRun:
+    def test_produces_sorted_timestamps(self, device):
+        driver = SessionDriver(device)
+        packets = driver.run(build_app(), Random(1))
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+    def test_duration_bounds(self, device):
+        app = build_app()
+        for seed in range(5):
+            duration = app.session_duration(Random(seed))
+            assert 5 * 60 <= duration <= 15 * 60
+
+    def test_volume_scales_with_config(self, device):
+        low = SessionDriver(device, SessionConfig(own_backend_mean=5.0))
+        high = SessionDriver(device, SessionConfig(own_backend_mean=120.0))
+        app = build_app(with_ad=False)
+        # A second backend keeps the app out of the loner volume class.
+        app.own_services.append(make_own_backend("jp.test.session2", Random(5)))
+        n_low = len(low.run(app, Random(1)))
+        n_high = len(high.run(app, Random(1)))
+        assert n_high > n_low * 3
+
+    def test_loner_gets_loner_volume(self, device):
+        driver = SessionDriver(device, SessionConfig(own_backend_mean=100.0, loner_mean=4.0))
+        loner = build_app(loner=True)
+        packets = driver.run(loner, Random(3))
+        assert 1 <= len(packets) <= 20  # loner mean, not backend mean
+
+    def test_ad_service_contributes(self, device):
+        driver = SessionDriver(device)
+        packets = driver.run(build_app(with_ad=True), Random(1))
+        ad_packets = [p for p in packets if p.meta.get("service") == "admaker"]
+        assert ad_packets
+
+    def test_all_packets_attributed_to_app(self, device):
+        driver = SessionDriver(device)
+        app = build_app()
+        packets = driver.run(app, Random(1))
+        assert all(p.app_id == app.package for p in packets)
+
+    def test_deterministic_given_rng(self, device):
+        driver = SessionDriver(device)
+        a = driver.run(build_app(), Random(9))
+        b = driver.run(build_app(), Random(9))
+        assert [p.request.target for p in a] == [p.request.target for p in b]

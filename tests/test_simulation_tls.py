@@ -1,0 +1,92 @@
+"""TLS adoption: observer view, per-service migration, determinism."""
+
+from random import Random
+
+import pytest
+
+from repro.simulation.tls import adopt_tls, encrypt_packet
+from tests.conftest import make_packet
+
+
+def ad_packet(i, service="adnet"):
+    p = make_packet(host="ads.adnet.com", target=f"/imp?udid=deadbeef&seq={i}")
+    p.meta.update({"service": service, "category": "ad"})
+    return p
+
+
+def content_packet(i):
+    p = make_packet(host="img.other.jp", target=f"/img?i={i}")
+    p.meta.update({"service": "cdn", "category": "content"})
+    return p
+
+
+class TestEncryptPacket:
+    def test_content_hidden(self):
+        original = ad_packet(1)
+        observed = encrypt_packet(original, Random(1))
+        assert "udid=deadbeef" not in observed.canonical_text()
+        assert observed.port == 443
+        assert observed.host == original.host
+        assert observed.meta["tls"] is True
+
+    def test_provenance_kept(self):
+        observed = encrypt_packet(ad_packet(1), Random(1))
+        assert observed.app_id == "jp.test.app"
+        assert observed.meta["service"] == "adnet"
+
+    def test_original_untouched(self):
+        original = ad_packet(1)
+        encrypt_packet(original, Random(1))
+        assert "udid=deadbeef" in original.canonical_text()
+
+
+class TestAdoptTls:
+    def test_zero_adoption_is_identity(self):
+        packets = [ad_packet(i) for i in range(5)]
+        observed = adopt_tls(packets, 0.0, seed=1)
+        assert observed == packets
+
+    def test_full_adoption_encrypts_all_ad_traffic(self):
+        packets = [ad_packet(i) for i in range(5)] + [content_packet(9)]
+        observed = adopt_tls(packets, 1.0, seed=1)
+        assert all(p.meta.get("tls") for p in observed[:5])
+        assert not observed[5].meta.get("tls")
+
+    def test_per_service_migration(self):
+        packets = [ad_packet(i, service=f"svc{i % 4}") for i in range(40)]
+        observed = adopt_tls(packets, 0.5, seed=3)
+        by_service: dict[str, set[bool]] = {}
+        for packet in observed:
+            by_service.setdefault(packet.meta["service"], set()).add(
+                bool(packet.meta.get("tls"))
+            )
+        # A service is either fully migrated or fully plaintext.
+        assert all(len(states) == 1 for states in by_service.values())
+
+    def test_deterministic(self):
+        packets = [ad_packet(i, service=f"svc{i % 3}") for i in range(12)]
+        a = adopt_tls(packets, 0.5, seed=7)
+        b = adopt_tls(packets, 0.5, seed=7)
+        assert [p.meta.get("tls", False) for p in a] == [p.meta.get("tls", False) for p in b]
+
+    def test_invalid_adoption(self):
+        with pytest.raises(ValueError):
+            adopt_tls([], 1.5)
+
+    def test_detection_floor_falls_with_adoption(self, small_corpus, small_split):
+        """The headline limitation: signatures trained on plaintext lose
+        exactly the migrated services' traffic."""
+        from repro.core.pipeline import DetectionPipeline
+        from repro.signatures.matcher import SignatureMatcher
+
+        suspicious, __ = small_split
+        pipeline = DetectionPipeline(small_corpus.trace, small_corpus.payload_check())
+        result = pipeline.run(n_sample=80, seed=1)
+        matcher = SignatureMatcher(result.signatures)
+
+        recalls = []
+        for adoption in (0.0, 0.5, 1.0):
+            observed = adopt_tls(list(suspicious), adoption, seed=5)
+            recalls.append(sum(matcher.is_sensitive(p) for p in observed) / len(observed))
+        assert recalls[0] >= recalls[1] >= recalls[2]
+        assert recalls[0] - recalls[2] > 0.3  # most leaks ride ad traffic
