@@ -19,9 +19,17 @@ Quickstart::
     print(f"TP {result.metrics.tp_percent:.1f}%  FP {result.metrics.fp_percent:.2f}%")
 """
 
+from repro.core.distribution import (
+    ChannelHealth,
+    FetchResult,
+    FetchStatus,
+    SignatureChannel,
+    SignatureFetcher,
+)
 from repro.core.flowcontrol import Decision, FlowControlApp, PolicyAction
 from repro.core.pipeline import DetectionPipeline, PipelineConfig
 from repro.core.server import SignatureServer
+from repro.reliability import CircuitBreaker, FaultKind, FaultPlan, Quarantine, RetryPolicy
 from repro.dataset.trace import Trace
 from repro.distance.ncd import Compressor, ncd
 from repro.distance.packet import PacketDistance
@@ -65,6 +73,17 @@ __all__ = [
     "Decision",
     "DetectionPipeline",
     "PipelineConfig",
+    # distribution & reliability
+    "SignatureChannel",
+    "SignatureFetcher",
+    "FetchResult",
+    "FetchStatus",
+    "ChannelHealth",
+    "FaultPlan",
+    "FaultKind",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Quarantine",
     # corpus
     "Corpus",
     "build_corpus",

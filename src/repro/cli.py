@@ -15,6 +15,7 @@
     repro export  --signatures signatures.json --format snort --out leaks.rules
     repro report  --apps 300 --seed 0
     repro fig4    --apps 300 --seed 0
+    repro chaos   --apps 80 --seed 0 --rates 0,0.1,0.25,0.5
 
 Trace paths ending in ``.gz`` are read/written gzip-compressed.
 Every command is pure computation over files — no network, no device.
@@ -194,6 +195,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.eval.chaos import render_chaos, run_chaos_sweep
+
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"--rates must be comma-separated numbers, got {args.rates!r}", file=sys.stderr)
+        return 2
+    if not rates or any(not 0.0 <= rate < 1.0 for rate in rates):
+        print(f"--rates must be one or more values in [0, 1), got {args.rates!r}", file=sys.stderr)
+        return 2
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    points = run_chaos_sweep(
+        corpus.trace,
+        corpus.payload_check(),
+        rates,
+        n_sample=args.sample,
+        n_devices=args.devices,
+        seed=args.seed,
+    )
+    print(render_chaos(points))
+    return 0
+
+
 def cmd_fig4(args: argparse.Namespace) -> int:
     from repro.eval.experiments import run_fig4_sweep, scaled_sweep
     from repro.eval.report import render_fig4
@@ -275,6 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--apps", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("chaos", help="sweep distribution-channel fault rates")
+    p.add_argument("--apps", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sample", type=int, default=60)
+    p.add_argument("--devices", type=int, default=6)
+    p.add_argument("--rates", default="0,0.1,0.25,0.5",
+                   help="comma-separated total fault rates in [0,1)")
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

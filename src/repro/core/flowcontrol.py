@@ -37,9 +37,13 @@ class Decision:
 
     :param packet: the screened packet.
     :param transmitted: whether the packet was let through.
-    :param flagged: whether any signature matched.
+    :param flagged: whether any signature (or the degraded-mode fallback
+        detector) matched.
     :param action: the policy action applied (ALLOW for clean packets).
     :param signature: the matching signature, if any.
+    :param degraded: ``True`` when the decision came from the degraded-mode
+        keyword fallback rather than a server signature — callers can
+        weigh such verdicts differently (e.g. prompt instead of block).
     """
 
     packet: HttpPacket
@@ -47,6 +51,7 @@ class Decision:
     flagged: bool
     action: PolicyAction
     signature: ConjunctionSignature | None = None
+    degraded: bool = False
 
 
 @dataclass
@@ -75,18 +80,29 @@ class FlowControlApp:
     :param signatures: the signature set (from ``SignatureServer.publish``
         or a prior :class:`~repro.signatures.store.SignatureStore` file).
     :param prompt_handler: callback deciding a PROMPT — receives the packet
-        and the matching signature, returns ``True`` to transmit.  Defaults
-        to denying (safe default while the user is absent).
+        and the matching signature (``None`` in degraded mode), returns
+        ``True`` to transmit.  Defaults to denying (safe default while the
+        user is absent).
+    :param degraded_detector: optional fallback detector (anything with an
+        ``is_sensitive(packet)`` method, e.g.
+        :class:`repro.baselines.keyword.KeywordDetector`).  While the app
+        holds *no* signatures — a fresh install whose every fetch failed —
+        screening falls back to this detector and decisions carry
+        ``degraded=True``.  Without one, an empty set screens nothing
+        (every packet transmits unflagged), as before.
     """
 
     def __init__(
         self,
         signatures: list[ConjunctionSignature],
         prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
+        degraded_detector: object | None = None,
     ) -> None:
         self.matcher = SignatureMatcher(signatures)
         self.policies = PolicyStore()
         self.prompt_handler = prompt_handler or (lambda packet, signature: False)
+        self.degraded_detector = degraded_detector
+        self.signature_version = 0
         self.history: list[Decision] = []
 
     @classmethod
@@ -98,12 +114,66 @@ class FlowControlApp:
         """Construct from a published (serialized) signature document."""
         return cls(SignatureStore.loads(published), prompt_handler)
 
+    @classmethod
+    def degraded(
+        cls,
+        prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
+        mode: str = "conservative",
+    ) -> "FlowControlApp":
+        """A fresh install with no signatures yet: keyword fallback armed.
+
+        Defaults to the ``conservative`` escalation: without server
+        signatures the device has no destination scoping, and the broader
+        modes would prompt on roughly half of all clean traffic — unusable.
+        Pair with :meth:`repro.core.distribution.SignatureFetcher.fetch_into`
+        to upgrade to real signatures once a fetch succeeds.
+        """
+        from repro.baselines.keyword import KeywordDetector
+
+        return cls([], prompt_handler, degraded_detector=KeywordDetector(mode))
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether screening currently runs on the fallback detector."""
+        return len(self.matcher) == 0 and self.degraded_detector is not None
+
+    def update_signatures(
+        self, signatures: list[ConjunctionSignature], version: int = 0
+    ) -> None:
+        """Install a newly fetched signature set (leaving policies intact).
+
+        An empty set with a zero version — a degraded fetch — does not
+        clobber signatures the app already holds: the last-known-good set
+        keeps screening.
+        """
+        if not signatures and version == 0 and len(self.matcher) > 0:
+            return
+        self.matcher = SignatureMatcher(signatures)
+        self.signature_version = version
+
     def screen(self, packet: HttpPacket) -> Decision:
-        """Screen one outgoing packet and record the decision."""
-        result = self.matcher.match(packet)
-        if not result.matched:
+        """Screen one outgoing packet and record the decision.
+
+        With signatures installed this is the paper's screening loop.  With
+        an empty set and a configured ``degraded_detector``, the detector
+        screens instead and the decision is marked ``degraded`` so callers
+        can distinguish baseline verdicts from signature verdicts.
+        """
+        degraded = self.is_degraded
+        if degraded:
+            flagged = bool(self.degraded_detector.is_sensitive(packet))
+            signature = None
+        else:
+            result = self.matcher.match(packet)
+            flagged = result.matched
+            signature = result.signature
+        if not flagged:
             decision = Decision(
-                packet=packet, transmitted=True, flagged=False, action=PolicyAction.ALLOW
+                packet=packet,
+                transmitted=True,
+                flagged=False,
+                action=PolicyAction.ALLOW,
+                degraded=degraded,
             )
         else:
             action = self.policies.lookup(packet.app_id, packet.destination.registered_domain)
@@ -112,13 +182,14 @@ class FlowControlApp:
             elif action is PolicyAction.BLOCK:
                 transmitted = False
             else:
-                transmitted = self.prompt_handler(packet, result.signature)
+                transmitted = self.prompt_handler(packet, signature)
             decision = Decision(
                 packet=packet,
                 transmitted=transmitted,
                 flagged=True,
                 action=action,
-                signature=result.signature,
+                signature=signature,
+                degraded=degraded,
             )
         self.history.append(decision)
         return decision

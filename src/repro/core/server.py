@@ -10,14 +10,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any, Iterable
+
 from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.linkage import Linkage, agglomerate
 from repro.dataset.split import sample_packets
 from repro.dataset.trace import Trace
 from repro.distance.matrix import distance_matrix
 from repro.distance.packet import PacketDistance
-from repro.errors import SignatureError
+from repro.errors import ReproError, SignatureError
 from repro.http.packet import HttpPacket
+from repro.reliability.quarantine import Quarantine
 from repro.sensitive.payload_check import PayloadCheck
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.generator import GeneratorConfig, SignatureGenerator
@@ -59,10 +62,12 @@ class SignatureServer:
         payload_check: PayloadCheck,
         distance: PacketDistance | None = None,
         config: ServerConfig | None = None,
+        quarantine_capacity: int = 256,
     ) -> None:
         self.payload_check = payload_check
         self.distance = distance or PacketDistance.paper()
         self.config = config or ServerConfig()
+        self.quarantine = Quarantine(capacity=quarantine_capacity)
         self._suspicious: list[HttpPacket] = []
         self._normal: list[HttpPacket] = []
 
@@ -71,12 +76,33 @@ class SignatureServer:
     def ingest(self, trace: Trace) -> tuple[int, int]:
         """Run the payload check over a trace, accumulating both groups.
 
+        Packets that fail canonicalization land in :attr:`quarantine`
+        instead of aborting the batch.
+
         :returns: ``(n_suspicious, n_normal)`` added by this call.
         """
-        suspicious, normal = self.payload_check.split(trace)
+        suspicious, normal = self.payload_check.split(trace, quarantine=self.quarantine)
         self._suspicious.extend(suspicious)
         self._normal.extend(normal)
         return len(suspicious), len(normal)
+
+    def ingest_raw(self, records: Iterable[dict[str, Any]]) -> tuple[int, int]:
+        """Ingest serialized packet records as uploaded by devices.
+
+        This is the crowd-collection entry point: each record is parsed
+        with :meth:`HttpPacket.from_dict`; malformed records — truncated
+        uploads, bit-flipped bytes, schema drift — are quarantined with
+        counters rather than failing the whole batch.
+
+        :returns: ``(n_suspicious, n_normal)`` added by this call.
+        """
+        packets: list[HttpPacket] = []
+        for record in records:
+            try:
+                packets.append(HttpPacket.from_dict(record))
+            except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
+                self.quarantine.add(exc, payload=record)
+        return self.ingest(Trace(packets))
 
     @property
     def suspicious(self) -> list[HttpPacket]:

@@ -48,6 +48,34 @@ class SignatureError(ReproError):
     """Signature generation or matching failed."""
 
 
+class SignatureStoreError(SignatureError):
+    """A signature document could not be decoded or failed validation.
+
+    Raised by :class:`repro.signatures.store.SignatureStore` for malformed
+    JSON, schema mismatches, bad envelope checksums, and version skew —
+    i.e. *corrupt payloads*, as distinct from programming errors.  A
+    fetcher's retry loop catches this class to decide "retry the
+    transfer", while genuine bugs keep their original exception types.
+    """
+
+
+class DistributionError(ReproError):
+    """The signature distribution channel failed.
+
+    Covers transport-level conditions between the signature server and a
+    device: nothing published yet, a simulated drop, or an exhausted
+    retry budget.
+    """
+
+
+class ChannelDropError(DistributionError):
+    """A transmission attempt was dropped by the (simulated) network."""
+
+
+class CircuitOpenError(DistributionError):
+    """The client-side circuit breaker refused the attempt."""
+
+
 class PermissionDenied(ReproError):
     """The simulated Binder refused a resource access.
 

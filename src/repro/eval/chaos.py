@@ -1,0 +1,159 @@
+"""Chaos sweep: detection quality under an unreliable distribution channel.
+
+The Fig-4 bench asks "how good are the signatures?"; this experiment asks
+"how much of that quality survives when the server -> device channel
+fails?".  For each swept fault rate a fleet of simulated devices fetches
+the published signature set through a :class:`~repro.reliability.faults.FaultPlan`
+(drops, truncation, bit corruption, delays, stale cache reads), then
+screens the full labelled dataset with whatever it ended up holding:
+
+- a **fresh** verified envelope (possibly a stale-but-valid older version),
+- its **last-known-good** set when every transfer this session failed, or
+- the **degraded-mode** keyword baseline when no valid set ever arrived.
+
+The headline property is graceful degradation: mean detection should never
+cliff to zero, and should stay above ``TP(0) * (1 - fault_rate)`` — the
+floor asserted by ``benchmarks/test_chaos_distribution.py``.
+
+Determinism: the whole sweep derives from explicit seeds; running it twice
+yields identical points.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.distribution import FetchStatus, SignatureChannel, SignatureFetcher
+from repro.core.flowcontrol import FlowControlApp
+from repro.core.server import SignatureServer
+from repro.reliability.faults import FaultPlan
+from repro.reliability.retry import CircuitBreaker, RetryPolicy
+from repro.sensitive.payload_check import PayloadCheck
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPoint:
+    """One fault rate's aggregate outcome across the device fleet.
+
+    Rates are percentages; fractions are in ``[0, 1]`` over devices.
+    """
+
+    fault_rate: float
+    n_devices: int
+    fresh_fraction: float
+    cached_fraction: float
+    degraded_fraction: float
+    tp_percent: float
+    fp_percent: float
+    mean_attempts: float
+
+    @property
+    def reachable_fraction(self) -> float:
+        """Devices holding *some* server-generated set (fresh or cached)."""
+        return self.fresh_fraction + self.cached_fraction
+
+
+def run_chaos_sweep(
+    trace: Iterable,
+    check: PayloadCheck,
+    rates: Sequence[float],
+    n_sample: int = 60,
+    n_devices: int = 8,
+    seed: int = 0,
+    retry: RetryPolicy | None = None,
+    detector_mode: str = "conservative",
+) -> list[ChaosPoint]:
+    """Sweep fault rates over the distribution channel.
+
+    The server ingests ``trace`` once and generates two signature-set
+    versions (a half-sample v1, then the full-sample v2).  Per rate, each
+    device runs *two* fetch sessions: one while v1 is the latest, one
+    after v2 is published.  A device whose second session fails entirely
+    keeps screening with its last-known-good v1 (``cached``); a device
+    that never completed any session screens with the degraded-mode
+    keyword baseline.  Stale-read faults serve a valid-but-older envelope
+    — the realistic cost of a lagging cache.  Every device then screens
+    the entire labelled dataset.
+
+    :param trace: the full captured dataset.
+    :param check: ground-truth labeler for the capture device.
+    :param rates: total fault rates to sweep (each in ``[0, 1)``).
+    :param n_sample: N for the v2 (current) signature generation.
+    :param n_devices: fleet size per rate.
+    :param seed: determinism root for sampling, faults, and jitter.
+    :param retry: device retry policy (default: 3 attempts, fast backoff).
+    :param detector_mode: keyword-baseline escalation used in degraded mode.
+    """
+    retry = retry or RetryPolicy(max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.25)
+    server = SignatureServer(check)
+    server.ingest(trace)
+    v1 = server.generate(max(10, n_sample // 2), seed=seed)
+    v2 = server.generate(n_sample, seed=seed + 1)
+    suspicious = server.suspicious
+    normal = server.normal
+
+    points: list[ChaosPoint] = []
+    for rate in rates:
+        # Seed derived from the rate itself (not its sweep position) so a
+        # point is reproducible regardless of which rates it is swept with.
+        plan = FaultPlan.uniform(rate, seed=seed + 7919 * (1 + round(rate * 1000)))
+        channel = SignatureChannel(plan)
+        devices = [
+            (
+                SignatureFetcher(
+                    channel,
+                    retry=retry,
+                    breaker=CircuitBreaker(failure_threshold=retry.max_attempts, cooldown=8.0),
+                    seed=seed,
+                    device_id=f"device-{device_index}",
+                ),
+                FlowControlApp.degraded(mode=detector_mode),
+            )
+            for device_index in range(n_devices)
+        ]
+        channel.publish(v1.signatures)
+        for fetcher, app in devices:
+            fetcher.fetch_into(app)
+        channel.publish(v2.signatures)
+        statuses: Counter[FetchStatus] = Counter()
+        tp_sum = fp_sum = attempts_sum = 0.0
+        for fetcher, app in devices:
+            result = fetcher.fetch_into(app)
+            statuses[result.status] += 1
+            attempts_sum += result.attempts
+            detected = sum(1 for packet in suspicious if app.screen(packet).flagged)
+            false_alarms = sum(1 for packet in normal if app.screen(packet).flagged)
+            tp_sum += 100.0 * detected / len(suspicious) if suspicious else 0.0
+            fp_sum += 100.0 * false_alarms / len(normal) if normal else 0.0
+        points.append(
+            ChaosPoint(
+                fault_rate=rate,
+                n_devices=n_devices,
+                fresh_fraction=statuses[FetchStatus.FRESH] / n_devices,
+                cached_fraction=statuses[FetchStatus.CACHED] / n_devices,
+                degraded_fraction=statuses[FetchStatus.DEGRADED] / n_devices,
+                tp_percent=tp_sum / n_devices,
+                fp_percent=fp_sum / n_devices,
+                mean_attempts=attempts_sum / n_devices,
+            )
+        )
+    return points
+
+
+def render_chaos(points: Sequence[ChaosPoint]) -> str:
+    """A fixed-width table of the sweep, in the repo's report style."""
+    lines = [
+        "Chaos sweep — detection under distribution faults",
+        f"{'fault%':>7} {'fresh':>6} {'cached':>7} {'degr.':>6} "
+        f"{'TP%':>6} {'FP%':>6} {'tries':>6}",
+    ]
+    for point in points:
+        lines.append(
+            f"{100 * point.fault_rate:>6.0f}% "
+            f"{point.fresh_fraction:>6.2f} {point.cached_fraction:>7.2f} "
+            f"{point.degraded_fraction:>6.2f} {point.tp_percent:>6.1f} "
+            f"{point.fp_percent:>6.1f} {point.mean_attempts:>6.2f}"
+        )
+    return "\n".join(lines)

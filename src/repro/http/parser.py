@@ -16,12 +16,21 @@ _MAX_LINE_LENGTH = 16 * 1024
 
 
 def _split_head_body(raw: bytes) -> tuple[bytes, bytes]:
-    """Split at the first blank line, accepting CRLF or bare LF endings."""
+    """Split at the first blank line, accepting CRLF or bare LF endings.
+
+    The *earliest* separator occurrence wins regardless of flavour: with
+    first-match-wins in tuple order, an LF-terminated head followed by a
+    body containing ``\\r\\n\\r\\n`` would be split inside the body.
+    """
+    best_idx = -1
+    best_len = 0
     for sep in (b"\r\n\r\n", b"\n\n"):
         idx = raw.find(sep)
-        if idx >= 0:
-            return raw[:idx], raw[idx + len(sep):]
-    return raw, b""
+        if idx >= 0 and (best_idx < 0 or idx < best_idx):
+            best_idx, best_len = idx, len(sep)
+    if best_idx < 0:
+        return raw, b""
+    return raw[:best_idx], raw[best_idx + best_len:]
 
 
 def _decode_line(line: bytes) -> str:

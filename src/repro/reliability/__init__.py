@@ -1,0 +1,36 @@
+"""Fault tolerance primitives for the signature distribution path.
+
+The paper's deployment (Fig 3) is a continuously running signature server
+feeding on-device flow-control applications.  At crowd scale the unreliable
+edge is the default case: devices drop off networks mid-transfer, payloads
+arrive truncated or bit-flipped, caches serve stale versions.  This package
+provides the building blocks the distribution layer
+(:mod:`repro.core.distribution`) is assembled from:
+
+- :mod:`repro.reliability.faults` — a seeded, deterministic fault injector
+  (drop, truncate, bit-corrupt, delay, stale-read) applicable to any byte
+  payload or packet stream;
+- :mod:`repro.reliability.retry` — exponential backoff with seeded jitter,
+  attempt budgets, and a circuit breaker over a *logical* clock;
+- :mod:`repro.reliability.quarantine` — a bounded holding pen for malformed
+  inputs so one corrupt record never aborts a batch.
+
+Everything here follows the repo's determinism rule (DESIGN.md §6): no
+wall-clock reads, no global RNG — faults and jitter derive from explicit
+seeds, and time is a logical tick counter advanced by the caller.
+"""
+
+from repro.reliability.faults import FaultKind, FaultOutcome, FaultPlan
+from repro.reliability.quarantine import Quarantine, QuarantineRecord
+from repro.reliability.retry import BreakerState, CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "FaultKind",
+    "FaultOutcome",
+    "FaultPlan",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerState",
+    "Quarantine",
+    "QuarantineRecord",
+]

@@ -1,0 +1,72 @@
+"""A bounded holding pen for malformed inputs.
+
+Batch ingestion must never abort because one record is corrupt: a single
+bit-flipped packet from one device would otherwise discard a whole
+collection round.  Failures land here instead, with per-error-type
+counters for health reporting; the record buffer is bounded so a flood of
+garbage cannot exhaust memory (the counters keep counting past the cap).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+def _preview(payload: object, limit: int = 96) -> str:
+    text = repr(payload)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantineRecord:
+    """One quarantined input.
+
+    :param reason: short category, defaults to the exception class name.
+    :param error: the stringified exception.
+    :param preview: truncated repr of the offending payload.
+    """
+
+    reason: str
+    error: str
+    preview: str
+
+
+class Quarantine:
+    """Bounded FIFO of rejected inputs plus unbounded counters.
+
+    :param capacity: maximum records retained (older ones are evicted).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise SimulationError(f"quarantine capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.records: deque[QuarantineRecord] = deque(maxlen=capacity)
+        self.counts: Counter[str] = Counter()
+        self.total = 0
+
+    def add(self, error: Exception, payload: object = None, reason: str = "") -> QuarantineRecord:
+        """Quarantine one failed input and return its record."""
+        record = QuarantineRecord(
+            reason=reason or type(error).__name__,
+            error=str(error),
+            preview=_preview(payload) if payload is not None else "",
+        )
+        self.records.append(record)
+        self.counts[record.reason] += 1
+        self.total += 1
+        return record
+
+    def __len__(self) -> int:
+        """Records currently retained (<= capacity; see :attr:`total`)."""
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def summary(self) -> dict[str, int]:
+        """Counts by reason, for health reports and tests."""
+        return dict(self.counts)

@@ -11,9 +11,13 @@ encoded), and scans each packet's inspected content for those spellings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
+from repro.errors import ReproError
 from repro.http.packet import HttpPacket
+
+if TYPE_CHECKING:
+    from repro.reliability.quarantine import Quarantine
 from repro.sensitive.identifiers import DeviceIdentity, IdentifierKind
 from repro.sensitive.transforms import Transform, transform_variants
 
@@ -114,17 +118,30 @@ class PayloadCheck:
         return {finding.label for finding in self.scan(packet)}
 
     def split(
-        self, packets: Iterable[HttpPacket]
+        self, packets: Iterable[HttpPacket], quarantine: "Quarantine | None" = None
     ) -> tuple[list[HttpPacket], list[HttpPacket]]:
         """Partition packets into ``(suspicious, normal)`` groups.
 
         This reproduces the manual separation of Section V-A; order within
         each group follows the input order.
+
+        :param quarantine: when given, a packet whose canonicalization
+            raises (e.g. :class:`~repro.errors.HttpParseError` from a
+            corrupt capture) is quarantined instead of aborting the batch;
+            without one, errors propagate as before.
         """
         suspicious: list[HttpPacket] = []
         normal: list[HttpPacket] = []
         for packet in packets:
-            (suspicious if self.is_sensitive(packet) else normal).append(packet)
+            if quarantine is None:
+                sensitive = self.is_sensitive(packet)
+            else:
+                try:
+                    sensitive = self.is_sensitive(packet)
+                except ReproError as exc:
+                    quarantine.add(exc, payload=packet)
+                    continue
+            (suspicious if sensitive else normal).append(packet)
         return suspicious, normal
 
     def iter_findings(

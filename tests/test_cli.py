@@ -204,3 +204,21 @@ class TestRisk:
         out = capsys.readouterr().out
         assert "static permission risk" in out
         assert "CRITICAL" in out or "HIGH" in out or "MODERATE" in out
+
+
+class TestChaos:
+    def test_renders_sweep_table(self, capsys):
+        code = main(
+            [
+                "chaos", "--apps", "30", "--seed", "1",
+                "--sample", "20", "--devices", "2", "--rates", "0,0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "fault%" in out
+
+    def test_rejects_malformed_rates(self, capsys):
+        assert main(["chaos", "--rates", "zero,half"]) == 2
+        assert "comma-separated" in capsys.readouterr().err

@@ -47,6 +47,106 @@ class TestScreening:
         assert len(asked) == 1
 
 
+class TestPolicyStoreLookup:
+    """Precedence: (app, domain) beats (app, "") beats the PROMPT default."""
+
+    def test_default_is_prompt(self):
+        app = FlowControlApp([signature()])
+        assert app.policies.lookup("jp.app.one", "adnet.com") is PolicyAction.PROMPT
+
+    def test_app_wide_rule_beats_default(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        assert app.policies.lookup("jp.app.one", "adnet.com") is PolicyAction.BLOCK
+        assert app.policies.lookup("jp.app.one", "other.jp") is PolicyAction.BLOCK
+
+    def test_domain_rule_beats_app_wide(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW, domain="adnet.com")
+        assert app.policies.lookup("jp.app.one", "adnet.com") is PolicyAction.ALLOW
+        # other domains still fall through to the app-wide rule
+        assert app.policies.lookup("jp.app.one", "other.jp") is PolicyAction.BLOCK
+
+    def test_domain_rule_does_not_leak_across_apps(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW, domain="adnet.com")
+        assert app.policies.lookup("jp.app.two", "adnet.com") is PolicyAction.PROMPT
+
+    def test_rule_overwrite_takes_effect(self):
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW)
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        assert app.policies.lookup("jp.app.one", "adnet.com") is PolicyAction.BLOCK
+
+
+class TestEmptySignatureSet:
+    def test_everything_transmits_unflagged(self):
+        app = FlowControlApp([])
+        for packet in (leaky(), clean()):
+            decision = app.screen(packet)
+            assert decision.transmitted
+            assert not decision.flagged
+            assert decision.action is PolicyAction.ALLOW
+            assert not decision.degraded
+
+    def test_no_prompts_and_nothing_blocked(self):
+        app = FlowControlApp([])
+        app.screen(leaky())
+        app.screen(clean())
+        assert app.prompt_count() == 0
+        assert app.blocked() == []
+        assert app.flagged() == []
+
+
+class TestDegradedMode:
+    def leaky_keyword(self):
+        # 15-digit value: the keyword baseline flags it, no signature needed
+        return make_packet(
+            host="ads.adnet.com", target="/x?imei=123456789012345", app_id="jp.app.one"
+        )
+
+    def test_degraded_app_flags_with_keyword_fallback(self):
+        app = FlowControlApp.degraded()
+        assert app.is_degraded
+        decision = app.screen(self.leaky_keyword())
+        assert decision.flagged
+        assert decision.degraded
+        assert decision.signature is None
+        assert not decision.transmitted  # default prompt handler denies
+
+    def test_degraded_clean_decisions_are_marked_too(self):
+        app = FlowControlApp.degraded()
+        decision = app.screen(clean())
+        assert decision.transmitted
+        assert not decision.flagged
+        assert decision.degraded
+
+    def test_policies_still_apply_in_degraded_mode(self):
+        app = FlowControlApp.degraded()
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW)
+        assert app.screen(self.leaky_keyword()).transmitted
+
+    def test_update_signatures_exits_degraded_mode(self):
+        app = FlowControlApp.degraded()
+        app.update_signatures([signature()], version=3)
+        assert not app.is_degraded
+        assert app.signature_version == 3
+        decision = app.screen(leaky())
+        assert decision.flagged and not decision.degraded
+
+    def test_degraded_update_does_not_clobber_installed_set(self):
+        app = FlowControlApp.degraded()
+        app.update_signatures([signature()], version=3)
+        app.update_signatures([], version=0)  # a degraded fetch result
+        assert not app.is_degraded
+        assert app.signature_version == 3
+
+    def test_empty_set_without_detector_is_not_degraded(self):
+        app = FlowControlApp([])
+        assert not app.is_degraded
+
+
 class TestPolicies:
     def test_allow_rule_skips_prompt(self):
         app = FlowControlApp([signature()])

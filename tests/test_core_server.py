@@ -83,3 +83,68 @@ class TestPublish:
         result = server.generate(4)
         published = server.publish(result.signatures)
         assert SignatureStore.loads(published) == result.signatures
+
+
+class TestQuarantine:
+    def test_ingest_raw_parses_good_records(self, server, identity):
+        records = [leaky_packet(identity, i).to_dict() for i in range(3)]
+        records.append(clean_packet(7).to_dict())
+        n_suspicious, n_normal = server.ingest_raw(records)
+        assert (n_suspicious, n_normal) == (3, 1)
+        assert server.quarantine.total == 0
+
+    def test_malformed_records_quarantined_not_fatal(self, server, identity):
+        good = leaky_packet(identity, 1).to_dict()
+        truncated = dict(good, raw=good["raw"][:3])  # mid request-line
+        missing_key = {k: v for k, v in good.items() if k != "raw"}
+        bad_ip = dict(good, ip="999.999.1.1")
+        not_a_dict = "garbage"
+        n_suspicious, n_normal = server.ingest_raw(
+            [good, truncated, missing_key, bad_ip, not_a_dict]
+        )
+        assert (n_suspicious, n_normal) == (1, 0)
+        assert server.quarantine.total == 3 + 1
+        assert len(server.suspicious) == 1
+
+    def test_quarantine_counters_by_reason(self, server, identity):
+        good = leaky_packet(identity, 1).to_dict()
+        server.ingest_raw([dict(good, raw="")])
+        assert server.quarantine.total == 1
+        assert sum(server.quarantine.summary().values()) == 1
+
+    def test_quarantine_is_bounded(self, identity):
+        small = SignatureServer(PayloadCheck(identity), quarantine_capacity=2)
+        good = leaky_packet(identity, 1).to_dict()
+        small.ingest_raw([dict(good, raw="") for __ in range(5)])
+        assert len(small.quarantine) == 2
+        assert small.quarantine.total == 5
+
+    def test_split_quarantines_canonicalization_failures(self, identity):
+        from repro.errors import HttpParseError
+        from repro.reliability.quarantine import Quarantine
+
+        class ExplodingPacket:
+            app_id = "jp.bad.app"
+
+            def canonical_text(self):
+                raise HttpParseError("mangled capture")
+
+        check = PayloadCheck(identity)
+        quarantine = Quarantine()
+        suspicious, normal = check.split(
+            [leaky_packet(identity, 1), ExplodingPacket(), clean_packet(2)],
+            quarantine=quarantine,
+        )
+        assert len(suspicious) == 1 and len(normal) == 1
+        assert quarantine.total == 1
+        assert quarantine.summary() == {"HttpParseError": 1}
+
+    def test_split_without_quarantine_still_raises(self, identity):
+        from repro.errors import HttpParseError
+
+        class ExplodingPacket:
+            def canonical_text(self):
+                raise HttpParseError("mangled capture")
+
+        with pytest.raises(HttpParseError):
+            PayloadCheck(identity).split([ExplodingPacket()])

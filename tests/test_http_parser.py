@@ -64,6 +64,33 @@ class TestTolerance:
         assert req.host == "h"
 
 
+class TestHeadBodySplit:
+    """Regression: the *earliest* blank line wins, regardless of flavour."""
+
+    def test_lf_head_with_crlf_sequence_in_body(self):
+        # Old first-match-wins searched \r\n\r\n first and split inside the
+        # body, making "line1" parse as a (colonless) header line.
+        raw = b"POST /u HTTP/1.1\nHost: x.com\n\nline1\r\n\r\nline2"
+        req = parse_request(raw)
+        assert req.host == "x.com"
+        assert req.body == b"line1\r\n\r\nline2"
+
+    def test_crlf_head_with_bare_lf_pair_in_body(self):
+        raw = b"POST /u HTTP/1.1\r\nHost: x.com\r\n\r\na\n\nb"
+        req = parse_request(raw)
+        assert req.body == b"a\n\nb"
+
+    def test_mixed_line_endings_in_head(self):
+        raw = b"POST /u HTTP/1.1\r\nHost: x.com\nX-A: 1\r\n\r\nbody"
+        req = parse_request(raw)
+        assert req.header("X-A") == "1"
+        assert req.body == b"body"
+
+    def test_no_separator_means_no_body(self):
+        req = parse_request(b"GET / HTTP/1.1\r\nHost: h")
+        assert req.body == b""
+
+
 class TestRejection:
     @pytest.mark.parametrize(
         "raw",

@@ -1,0 +1,127 @@
+"""Backoff schedules, jitter bounds, circuit breaking — all on logical time."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.reliability.quarantine import Quarantine
+from repro.reliability.retry import BreakerState, CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3)
+        assert policy.schedule(Random(7)) == policy.schedule(Random(7))
+
+    def test_delays_grow_geometrically_without_jitter(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=2.0, jitter=0.0)
+        assert policy.schedule(Random(0)) == [1.0, 2.0, 4.0]
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=1.0, multiplier=3.0,
+                             max_delay=5.0, jitter=0.0)
+        assert max(policy.schedule(Random(0))) == 5.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=10.0, jitter=0.25)
+        rng = Random(1)
+        for __ in range(200):
+            delay = policy.backoff(0, rng)
+            assert 7.5 <= delay <= 12.5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_negative_retry_index(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy().backoff(-1, Random(0))
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.allow(3.0)
+        assert breaker.state(3.0) is BreakerState.CLOSED
+
+    def test_trips_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0)
+        for tick in (1.0, 2.0, 3.0):
+            breaker.record_failure(tick)
+        assert not breaker.allow(4.0)
+        assert breaker.state(4.0) is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_half_opens_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(5.0)
+        assert breaker.allow(10.0)  # cooldown elapsed: probe admitted
+        assert breaker.state(10.0) is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_success()
+        assert breaker.state(11.0) is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.0)
+        assert not breaker.allow(15.0)  # fresh cooldown from the probe failure
+        assert breaker.trips == 2
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0)
+        breaker.record_failure(1.0)
+        breaker.record_success()
+        breaker.record_failure(2.0)
+        assert breaker.state(3.0) is BreakerState.CLOSED
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(SimulationError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestQuarantine:
+    def test_counts_by_reason(self):
+        quarantine = Quarantine()
+        quarantine.add(ValueError("bad"), payload={"x": 1})
+        quarantine.add(KeyError("raw"))
+        quarantine.add(ValueError("worse"))
+        assert quarantine.summary() == {"ValueError": 2, "KeyError": 1}
+        assert quarantine.total == 3
+
+    def test_bounded_buffer_keeps_counting(self):
+        quarantine = Quarantine(capacity=2)
+        for index in range(5):
+            quarantine.add(ValueError(str(index)))
+        assert len(quarantine) == 2
+        assert quarantine.total == 5
+        # newest records are the ones retained
+        assert [record.error for record in quarantine.records] == ["3", "4"]
+
+    def test_preview_truncated(self):
+        quarantine = Quarantine()
+        record = quarantine.add(ValueError("x"), payload="y" * 500)
+        assert len(record.preview) <= 96
+
+    def test_falsy_when_empty(self):
+        assert not Quarantine()
+        with pytest.raises(SimulationError):
+            Quarantine(capacity=0)

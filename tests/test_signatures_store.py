@@ -58,3 +58,95 @@ class TestValidation:
     def test_rejects_missing_signatures_key(self):
         with pytest.raises(SignatureError):
             SignatureStore.loads(json.dumps({"format_version": 1, "count": 0}))
+
+
+class TestTypedErrors:
+    """All decode/validation failures surface as SignatureStoreError."""
+
+    def test_invalid_json_is_store_error(self):
+        from repro.errors import SignatureStoreError
+
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads("{not json")
+
+    def test_malformed_record_is_store_error_not_keyerror(self):
+        from repro.errors import SignatureStoreError
+
+        document = json.loads(SignatureStore.dumps(sigs()))
+        document["signatures"][0] = {"no_tokens_key": True}
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads(json.dumps(document))
+
+    def test_non_dict_record_is_store_error(self):
+        from repro.errors import SignatureStoreError
+
+        document = json.loads(SignatureStore.dumps(sigs()))
+        document["signatures"][1] = "not-a-dict"
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads(json.dumps(document))
+
+    def test_store_error_is_a_signature_error(self):
+        from repro.errors import SignatureStoreError
+
+        assert issubclass(SignatureStoreError, SignatureError)
+
+
+class TestEnvelope:
+    def test_roundtrip_preserves_set_and_version(self):
+        from repro.signatures.store import SignatureStore as Store
+
+        text = Store.dumps_envelope(sigs(), set_version=7)
+        envelope = Store.loads_envelope(text)
+        assert envelope.set_version == 7
+        assert list(envelope.signatures) == sigs()
+
+    def test_checksum_is_stable(self):
+        assert SignatureStore.dumps_envelope(sigs(), 1) == SignatureStore.dumps_envelope(sigs(), 1)
+
+    def test_bit_flip_fails_checksum(self):
+        from repro.errors import SignatureStoreError
+
+        text = SignatureStore.dumps_envelope(sigs(), 1)
+        position = text.index("udid")
+        mangled = text[:position] + "Xdid" + text[position + 4:]
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads_envelope(mangled)
+
+    def test_truncation_rejected(self):
+        from repro.errors import SignatureStoreError
+
+        text = SignatureStore.dumps_envelope(sigs(), 1)
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads_envelope(text[: len(text) // 2])
+
+    def test_plain_document_rejected_by_envelope_loader(self):
+        from repro.errors import SignatureStoreError
+
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads_envelope(SignatureStore.dumps(sigs()))
+
+    def test_envelope_rejected_by_plain_loader(self):
+        from repro.errors import SignatureStoreError
+
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads(SignatureStore.dumps_envelope(sigs(), 1))
+
+    def test_tampered_version_rejected(self):
+        from repro.errors import SignatureStoreError
+
+        document = json.loads(SignatureStore.dumps_envelope(sigs(), 1))
+        document["set_version"] = 0
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads_envelope(json.dumps(document))
+
+    def test_count_mismatch_rejected(self):
+        from repro.errors import SignatureStoreError
+
+        document = json.loads(SignatureStore.dumps_envelope(sigs(), 1))
+        document["count"] = 9
+        with pytest.raises(SignatureStoreError):
+            SignatureStore.loads_envelope(json.dumps(document))
+
+    def test_empty_set_envelope_roundtrips(self):
+        envelope = SignatureStore.loads_envelope(SignatureStore.dumps_envelope([], 1))
+        assert envelope.signatures == ()
