@@ -16,6 +16,7 @@
     repro report  --apps 300 --seed 0
     repro fig4    --apps 300 --seed 0
     repro chaos   --apps 80 --seed 0 --rates 0,0.1,0.25,0.5
+    repro bench   --apps 300 --sample 200 --workers 4 --out BENCH_perf.json
 
 Trace paths ending in ``.gz`` are read/written gzip-compressed.
 Every command is pure computation over files — no network, no device.
@@ -70,11 +71,11 @@ def cmd_label(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    from repro.core.server import SignatureServer
+    from repro.core.server import ServerConfig, SignatureServer
 
     trace = Trace.load_jsonl(args.trace)
     check = PayloadCheck(_load_identity(args.identity))
-    server = SignatureServer(check)
+    server = SignatureServer(check, config=ServerConfig(workers=args.workers))
     n_suspicious, __ = server.ingest(trace)
     if not n_suspicious:
         print("no sensitive packets found; nothing to generate", file=sys.stderr)
@@ -219,6 +220,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.perf import PerfBudget, run_perf_bench
+
+    if args.quick:
+        # Smoke configuration: a small corpus, and only the correctness
+        # gate — timing floors are meaningless at smoke scale.
+        n_apps = min(args.apps, 60)
+        sample = min(args.sample, 40)
+        screen = min(args.screen, 1500)
+        budget = PerfBudget(
+            min_parallel_speedup=None, min_engine_speedup=None, min_pair_hit_rate=None
+        )
+    else:
+        n_apps, sample, screen = args.apps, args.sample, args.screen
+        budget = PerfBudget(
+            min_parallel_speedup=args.budget_speedup,
+            min_engine_speedup=args.budget_engine_speedup,
+        )
+    report = run_perf_bench(
+        n_apps=n_apps,
+        sample=sample,
+        workers=args.workers,
+        seed=args.seed,
+        screen_packets=screen,
+        budget=budget,
+    )
+    print(report.render())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_fig4(args: argparse.Namespace) -> int:
     from repro.eval.experiments import run_fig4_sweep, scaled_sweep
     from repro.eval.report import render_fig4
@@ -257,6 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--identity", required=True)
     p.add_argument("--sample", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="distance-engine processes (0 = one per CPU)")
     p.add_argument("--out", default="signatures.json")
     p.set_defaults(func=cmd_generate)
 
@@ -300,6 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--apps", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("bench", help="time the hot paths, emit BENCH_perf.json")
+    p.add_argument("--apps", type=int, default=300)
+    p.add_argument("--sample", type=int, default=200, help="M packets for the matrix build")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--screen", type=int, default=4000, help="packets for matcher throughput")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke scale; enforce only serial/parallel equality")
+    p.add_argument("--budget-speedup", type=float, default=2.0,
+                   help="required parallel speedup (enforced when CPUs allow)")
+    p.add_argument("--budget-engine-speedup", type=float, default=1.5,
+                   help="required engine-vs-naive serial speedup")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("chaos", help="sweep distribution-channel fault rates")
     p.add_argument("--apps", type=int, default=80)

@@ -28,11 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.clustering.linkage import agglomerate
 from repro.core.pipeline import PipelineConfig
+from repro.distance.engine import DistanceEngine, MatrixCache
 from repro.eval.crossval import generate_from
 from repro.http.packet import HttpPacket
 from repro.signatures.conjunction import ConjunctionSignature
-from repro.signatures.generator import deduplicate
+from repro.signatures.generator import SignatureGenerator, deduplicate
 from repro.signatures.matcher import SignatureMatcher
 
 
@@ -56,6 +58,12 @@ class IncrementalSignatureSet:
         next batch instead of being clustered (clusters need mass).
     :param exemplars_per_signature: covered packets retained per signature
         as consolidation material.
+    :param max_consolidation_material: ceiling on the packets retained for
+        consolidation.  While under the ceiling, successive consolidations
+        *extend* the cached distance matrix (only the k x M new pairs are
+        computed, via :class:`~repro.distance.engine.MatrixCache`); when
+        the ceiling would be exceeded, the oldest material is dropped and
+        the matrix is rebuilt once.
     """
 
     def __init__(
@@ -65,14 +73,19 @@ class IncrementalSignatureSet:
         *,
         min_residue: int = 6,
         exemplars_per_signature: int = 8,
+        max_consolidation_material: int = 512,
     ) -> None:
         self.signatures: list[ConjunctionSignature] = list(signatures)
         self.config = config or PipelineConfig()
         self.min_residue = min_residue
         self.exemplars_per_signature = exemplars_per_signature
+        self.max_consolidation_material = max_consolidation_material
         self._carryover: list[HttpPacket] = []
         self._match_counts: dict[ConjunctionSignature, int] = {s: 0 for s in self.signatures}
         self._exemplars: dict[ConjunctionSignature, list[HttpPacket]] = {}
+        self._consolidation = MatrixCache(
+            DistanceEngine(self.config.distance, workers=self.config.workers)
+        )
 
     def __len__(self) -> int:
         return len(self.signatures)
@@ -81,6 +94,11 @@ class IncrementalSignatureSet:
     def pending(self) -> int:
         """Suspicious packets waiting for enough mass to cluster."""
         return len(self._carryover)
+
+    @property
+    def consolidation_material(self) -> int:
+        """Packets retained (with a cached matrix) for consolidation."""
+        return len(self._consolidation)
 
     def matcher(self) -> SignatureMatcher:
         """A matcher over the current set."""
@@ -129,14 +147,26 @@ class IncrementalSignatureSet:
 
         Re-clustering the exemplar pool lets clusters that were split
         across batches re-form, broadening value-anchored tokens the same
-        way one-shot generation would.  Returns the new set size.
+        way one-shot generation would.  Material survives across
+        consolidations (up to ``max_consolidation_material``) and its
+        distance matrix is *extended* rather than rebuilt: only the pairs
+        involving packets gathered since the last consolidation are
+        computed.  Returns the new set size.
         """
-        material: list[HttpPacket] = list(self._carryover)
+        fresh: list[HttpPacket] = list(self._carryover)
         for packets in self._exemplars.values():
-            material.extend(packets)
-        if len(material) < self.min_residue:
+            fresh.extend(packets)
+        if len(self._consolidation) + len(fresh) < self.min_residue:
             return len(self.signatures)
-        regenerated = generate_from(material, self.config)
+        if len(self._consolidation) + len(fresh) > self.max_consolidation_material:
+            kept = (self._consolidation.items + fresh)[-self.max_consolidation_material:]
+            matrix = self._consolidation.rebuild(kept)
+        else:
+            matrix = self._consolidation.add(fresh)
+        dendrogram = agglomerate(matrix, self.config.linkage)
+        regenerated = SignatureGenerator(self.config.generator).from_dendrogram(
+            dendrogram, self._consolidation.items
+        )
         # Union-merge: regeneration broadens value/app-anchored signatures
         # (exemplars from different apps cluster together), while the old
         # set guarantees coverage never regresses.  Dedup drops whichever

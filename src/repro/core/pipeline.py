@@ -23,11 +23,16 @@ from repro.signatures.matcher import SignatureMatcher
 
 @dataclass(frozen=True, slots=True)
 class PipelineConfig:
-    """Pipeline policy: distance + clustering + generation knobs."""
+    """Pipeline policy: distance + clustering + generation knobs.
+
+    :param workers: process count for the distance-matrix build (``1`` =
+        serial, ``0`` = one per CPU); output is bit-identical either way.
+    """
 
     distance: PacketDistance = field(default_factory=PacketDistance.paper)
     linkage: Linkage = Linkage.GROUP_AVERAGE
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    workers: int = 1
 
 
 @dataclass(slots=True)
@@ -59,7 +64,11 @@ class DetectionPipeline:
         self.server = SignatureServer(
             payload_check,
             distance=self.config.distance,
-            config=ServerConfig(linkage=self.config.linkage, generator=self.config.generator),
+            config=ServerConfig(
+                linkage=self.config.linkage,
+                generator=self.config.generator,
+                workers=self.config.workers,
+            ),
         )
         self.server.ingest(trace)
 

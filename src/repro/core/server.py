@@ -16,7 +16,7 @@ from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.linkage import Linkage, agglomerate
 from repro.dataset.split import sample_packets
 from repro.dataset.trace import Trace
-from repro.distance.matrix import distance_matrix
+from repro.distance.engine import DistanceEngine
 from repro.distance.packet import PacketDistance
 from repro.errors import ReproError, SignatureError
 from repro.http.packet import HttpPacket
@@ -33,10 +33,14 @@ class ServerConfig:
 
     :param linkage: clustering criterion (paper: group average).
     :param generator: signature-generation policy.
+    :param workers: process count for the pairwise distance build
+        (``1`` = in-process serial, ``0`` = one per CPU; results are
+        bit-identical for every setting).
     """
 
     linkage: Linkage = Linkage.GROUP_AVERAGE
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    workers: int = 1
 
 
 @dataclass(slots=True)
@@ -67,6 +71,7 @@ class SignatureServer:
         self.payload_check = payload_check
         self.distance = distance or PacketDistance.paper()
         self.config = config or ServerConfig()
+        self.engine = DistanceEngine(self.distance, workers=self.config.workers)
         self.quarantine = Quarantine(capacity=quarantine_capacity)
         self._suspicious: list[HttpPacket] = []
         self._normal: list[HttpPacket] = []
@@ -135,8 +140,12 @@ class SignatureServer:
         return GenerationResult(sample=sample, dendrogram=dendrogram, signatures=signatures)
 
     def cluster(self, packets: list[HttpPacket]) -> Dendrogram:
-        """Group-average hierarchical clustering over ``packets``."""
-        matrix = distance_matrix(packets, self.distance)
+        """Group-average hierarchical clustering over ``packets``.
+
+        The pairwise matrix is built by the distance engine — cached and,
+        when ``config.workers`` allows, computed across a process pool.
+        """
+        matrix = self.engine.matrix(packets)
         return agglomerate(matrix, self.config.linkage)
 
     # -- publication -----------------------------------------------------------------

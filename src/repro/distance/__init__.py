@@ -18,13 +18,15 @@ from repro.distance.destination import (
     ip_distance,
     port_distance,
 )
+from repro.distance.engine import DistanceEngine, EngineStats, MatrixCache, engine_matrix
 from repro.distance.matrix import CondensedMatrix, distance_matrix
-from repro.distance.ncd import Compressor, NcdCalculator, ncd
+from repro.distance.ncd import CacheStats, Compressor, NcdCalculator, ncd
 from repro.distance.packet import PacketDistance
 
 __all__ = [
     "ncd",
     "NcdCalculator",
+    "CacheStats",
     "Compressor",
     "ip_distance",
     "port_distance",
@@ -35,4 +37,8 @@ __all__ = [
     "PacketDistance",
     "distance_matrix",
     "CondensedMatrix",
+    "DistanceEngine",
+    "EngineStats",
+    "MatrixCache",
+    "engine_matrix",
 ]

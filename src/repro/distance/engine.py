@@ -1,0 +1,508 @@
+"""Parallel, cached distance-matrix engine — the §IV hot path.
+
+Building the clustering input costs M(M-1)/2 evaluations of ``d_pkt``,
+each of which runs three zlib compressions (the NCD content side) plus a
+pure-Python FQDN edit distance.  :class:`DistanceEngine` accelerates that
+build three ways, without changing a single output bit relative to the
+serial :func:`repro.distance.matrix.distance_matrix` loop:
+
+1. **Decomposition over unique field values.**  Real traffic repeats
+   itself: a 200-packet sample typically carries ~10 distinct hosts, a
+   handful of bodies, and one cookie jar.  For :class:`PacketDistance`
+   metrics the engine deduplicates each packet field up front and caches
+   every *component* distance per unique value pair, so the dominant
+   host-Levenshtein cost drops from O(M²) to O(U²) for U unique hosts.
+   Component caches return the exact floats a recomputation would, and
+   the per-pair summation order mirrors ``PacketDistance.distance``
+   literally, so results are bit-identical.
+2. **Batch precomputation of single-string compressed lengths.**  All
+   ``C(x)`` terms are filled once up front via
+   :meth:`NcdCalculator.precompute` (in the parent, before any fan-out),
+   leaving only the concatenated ``C(xy)`` terms for the pair loop.
+3. **Multiprocessing fan-out.**  The condensed pair index space is cut
+   into contiguous chunks and mapped over a worker pool.  Workers receive
+   the pre-serialized evaluator exactly once (pool initializer), not per
+   pair; chunk results are reassembled in index order, so the output is
+   deterministic and independent of worker count or scheduling.
+
+The engine also supports **incremental extension**: given the condensed
+matrix over M items, :meth:`DistanceEngine.extend` appends k new items by
+computing only the k·M + k(k-1)/2 new pairs and splicing the old values
+into the larger condensed layout — bit-identical to a full rebuild.
+:class:`MatrixCache` packages that pattern for consumers that grow an
+item population over time (``repro.core.incremental``).
+
+Metrics that are not :class:`PacketDistance` instances fall back to a
+generic per-pair evaluator (still chunked and parallelizable when the
+metric pickles; silently serial when it does not, e.g. for lambdas).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distance.destination import destination_distance
+from repro.distance.matrix import CondensedMatrix
+from repro.distance.ncd import CacheStats, NcdCalculator
+from repro.distance.packet import PacketDistance
+from repro.errors import DistanceError
+
+#: Condensed-index pairs per pool task.  Small enough to load-balance a
+#: handful of workers, large enough that per-task IPC is negligible.
+DEFAULT_CHUNK_PAIRS = 4096
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Machine-readable account of one engine run (feeds ``BENCH_perf.json``)."""
+
+    n_items: int = 0
+    n_pairs: int = 0
+    workers_requested: int = 1
+    workers_used: int = 1
+    chunks: int = 1
+    mode: str = "generic"  # "packet" (decomposed fast path) or "generic"
+    fallback: str | None = None
+    pair_hits: int = 0
+    pair_misses: int = 0
+    singles: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def pair_lookups(self) -> int:
+        return self.pair_hits + self.pair_misses
+
+    @property
+    def pair_hit_rate(self) -> float:
+        """Fraction of component evaluations served from the pair cache."""
+        return self.pair_hits / self.pair_lookups if self.pair_lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_items": self.n_items,
+            "n_pairs": self.n_pairs,
+            "workers_requested": self.workers_requested,
+            "workers_used": self.workers_used,
+            "chunks": self.chunks,
+            "mode": self.mode,
+            "fallback": self.fallback,
+            "pair_hits": self.pair_hits,
+            "pair_misses": self.pair_misses,
+            "pair_hit_rate": round(self.pair_hit_rate, 4),
+            "singles_hits": self.singles.hits,
+            "singles_misses": self.singles.misses,
+            "singles_precomputed": self.singles.precomputed,
+            "singles_hit_rate": round(self.singles.hit_rate, 4),
+        }
+
+
+@dataclass(slots=True)
+class _ChunkStats:
+    """Cache-counter delta produced by one chunk evaluation."""
+
+    pair_hits: int = 0
+    pair_misses: int = 0
+    singles_hits: int = 0
+    singles_misses: int = 0
+
+
+class _PacketEvaluator:
+    """Decomposed ``d_pkt`` over unique field values, with component caches.
+
+    Picklable: workers receive one instance (with the precomputed
+    single-string length table inside its calculator) and fill their own
+    component caches as their chunks demand.
+    """
+
+    def __init__(self, metric: PacketDistance, items: Sequence) -> None:
+        self.destination_weight = metric.destination_weight
+        self.content_weight = metric.content_weight
+        self.registry = metric.registry
+        content = metric.content
+        self.use_rline = content.use_rline
+        self.use_cookie = content.use_cookie
+        self.use_body = content.use_body
+        self.ncd = NcdCalculator(content.calculator.compressor, clamp=content.calculator.clamp)
+
+        # Deduplicate per-packet fields into id tables, once.
+        self.destinations: list = []
+        self.blobs: list[bytes] = []
+        dest_ids: dict = {}
+        blob_ids: dict[bytes, int] = {}
+        self.dest_of: list[int] = []
+        self.rline_of: list[int] = []
+        self.cookie_of: list[int] = []
+        self.body_of: list[int] = []
+
+        def blob_id(blob: bytes) -> int:
+            index = blob_ids.get(blob)
+            if index is None:
+                index = blob_ids[blob] = len(self.blobs)
+                self.blobs.append(blob)
+            return index
+
+        for packet in items:
+            destination = packet.destination
+            index = dest_ids.get(destination)
+            if index is None:
+                index = dest_ids[destination] = len(self.destinations)
+                self.destinations.append(destination)
+            self.dest_of.append(index)
+            self.rline_of.append(blob_id(packet.request_line.encode("latin-1")))
+            self.cookie_of.append(blob_id(packet.cookie.encode("latin-1")))
+            self.body_of.append(blob_id(packet.body))
+
+        # All C(x) terms up front — workers inherit the warm table.
+        if self.content_weight:
+            self.ncd.precompute(self.blobs)
+
+        # Component caches, filled on demand during chunk evaluation.
+        self._dest_cache: dict[tuple[int, int], float] = {}
+        self._ncd_cache: dict[tuple[int, int], float] = {}
+
+    def pairs(self, rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, _ChunkStats]:
+        """Evaluate ``d_pkt`` for each ``(rows[t], cols[t])`` pair."""
+        out = np.empty(len(rows), dtype=float)
+        stats = _ChunkStats()
+        singles = self.ncd.stats
+        singles_hits0, singles_misses0 = singles.hits, singles.misses
+        dest_weight = self.destination_weight
+        content_weight = self.content_weight
+        dest_cache = self._dest_cache
+        ncd_cache = self._ncd_cache
+        destinations = self.destinations
+        blobs = self.blobs
+        ncd_distance = self.ncd.distance
+
+        def ncd_component(id_x: int, id_y: int) -> float:
+            # Ordered key: C(xy) depends on concatenation order, and the
+            # serial loop always concatenates row-item first.
+            key = (id_x, id_y)
+            value = ncd_cache.get(key)
+            if value is None:
+                value = ncd_distance(blobs[id_x], blobs[id_y])
+                ncd_cache[key] = value
+                stats.pair_misses += 1
+            else:
+                stats.pair_hits += 1
+            return value
+
+        for t in range(len(rows)):
+            i = int(rows[t])
+            j = int(cols[t])
+            total = 0.0
+            if dest_weight:
+                a, b = self.dest_of[i], self.dest_of[j]
+                key = (a, b) if a <= b else (b, a)  # every component is symmetric
+                dest = dest_cache.get(key)
+                if dest is None:
+                    dest = destination_distance(
+                        destinations[a], destinations[b], registry=self.registry
+                    )
+                    dest_cache[key] = dest
+                    stats.pair_misses += 1
+                else:
+                    stats.pair_hits += 1
+                total += dest_weight * dest
+            if content_weight:
+                header = 0.0
+                if self.use_rline:
+                    header += ncd_component(self.rline_of[i], self.rline_of[j])
+                if self.use_cookie:
+                    header += ncd_component(self.cookie_of[i], self.cookie_of[j])
+                if self.use_body:
+                    header += ncd_component(self.body_of[i], self.body_of[j])
+                total += content_weight * header
+            if not np.isfinite(total) or total < 0:
+                raise DistanceError(
+                    f"metric returned invalid value {total!r} for pair ({i}, {j})"
+                )
+            out[t] = total
+        stats.singles_hits = singles.hits - singles_hits0
+        stats.singles_misses = singles.misses - singles_misses0
+        return out, stats
+
+
+class _GenericEvaluator:
+    """Plain per-pair evaluation for arbitrary metrics (no decomposition)."""
+
+    def __init__(self, metric: Callable, items: Sequence) -> None:
+        self.metric = metric
+        self.items = list(items)
+
+    def pairs(self, rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, _ChunkStats]:
+        out = np.empty(len(rows), dtype=float)
+        metric = self.metric
+        items = self.items
+        for t in range(len(rows)):
+            i = int(rows[t])
+            j = int(cols[t])
+            value = metric(items[i], items[j])
+            if not np.isfinite(value) or value < 0:
+                raise DistanceError(
+                    f"metric returned invalid value {value!r} for pair ({i}, {j})"
+                )
+            out[t] = value
+        return out, _ChunkStats()
+
+
+@dataclass(slots=True)
+class _WorkerState:
+    """Everything a pool worker needs, shipped once via the initializer."""
+
+    evaluator: object
+    n_full: int | None  # condensed triu over n items …
+    rows: np.ndarray | None  # … or an explicit pair list (extension mode)
+    cols: np.ndarray | None
+
+
+_WORKER: _WorkerState | None = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER
+    state: _WorkerState = pickle.loads(payload)
+    if state.n_full is not None:
+        state.rows, state.cols = np.triu_indices(state.n_full, k=1)
+    _WORKER = state
+
+
+def _worker_chunk(task: tuple[int, int]) -> tuple[np.ndarray, _ChunkStats]:
+    start, stop = task
+    assert _WORKER is not None
+    return _WORKER.evaluator.pairs(_WORKER.rows[start:stop], _WORKER.cols[start:stop])
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class DistanceEngine:
+    """Chunked, cached, optionally parallel pairwise-distance computation.
+
+    :param metric: the pair metric (``PacketDistance`` unlocks the
+        decomposed fast path; any callable works).
+    :param workers: process count. ``1`` (default) evaluates in-process —
+        the right setting for tests and small M; ``0`` means "one per
+        CPU".  Results are bit-identical for every worker count.
+    :param chunk_pairs: condensed-index pairs per pool task.
+    """
+
+    def __init__(
+        self,
+        metric: Callable | None = None,
+        *,
+        workers: int = 1,
+        chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    ) -> None:
+        if workers < 0:
+            raise DistanceError(f"workers must be >= 0, got {workers}")
+        if chunk_pairs < 1:
+            raise DistanceError(f"chunk_pairs must be positive, got {chunk_pairs}")
+        self.metric = metric if metric is not None else PacketDistance.paper()
+        self.workers = workers or (os.cpu_count() or 1)
+        self.chunk_pairs = chunk_pairs
+        self.stats = EngineStats()
+
+    # -- public API ---------------------------------------------------------------
+
+    def matrix(
+        self,
+        items: Sequence,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> CondensedMatrix:
+        """All-pairs condensed matrix over ``items`` (order-preserving)."""
+        n = len(items)
+        total = n * (n - 1) // 2
+        evaluator = self._build_evaluator(items)
+        values = self._compute(
+            evaluator, total, n_full=n, rows=None, cols=None, progress=progress
+        )
+        self.stats.n_items = n
+        self.stats.n_pairs = total
+        return CondensedMatrix(n, values)
+
+    def extend(
+        self,
+        matrix: CondensedMatrix,
+        items: Sequence,
+        new_items: Sequence,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> CondensedMatrix:
+        """Append ``new_items`` to an existing matrix over ``items``.
+
+        Computes only the ``k*M + k(k-1)/2`` pairs that involve a new item
+        and splices ``matrix.values`` into the larger condensed layout;
+        the result is bit-identical to a full rebuild over
+        ``list(items) + list(new_items)``.
+
+        :raises DistanceError: when ``matrix`` does not match ``items``.
+        """
+        n = len(items)
+        if matrix.n != n:
+            raise DistanceError(
+                f"matrix covers {matrix.n} items but {n} were supplied"
+            )
+        k = len(new_items)
+        if k == 0:
+            return CondensedMatrix(n, matrix.values.copy())
+        combined = list(items) + list(new_items)
+        n_new = n + k
+
+        # Old pairs keep their values; only their condensed indices shift.
+        new_values = np.empty(n_new * (n_new - 1) // 2, dtype=float)
+        if n > 1:
+            old_rows, old_cols = np.triu_indices(n, k=1)
+            new_values[_condensed_indices(old_rows, old_cols, n_new)] = matrix.values
+
+        # The new pairs: every old x new, then new x new — computed with
+        # the same evaluator a full rebuild would use.
+        rows_on = np.repeat(np.arange(n), k)
+        cols_on = np.tile(np.arange(n, n_new), n)
+        rows_nn, cols_nn = np.triu_indices(k, k=1)
+        rows = np.concatenate([rows_on, rows_nn + n])
+        cols = np.concatenate([cols_on, cols_nn + n])
+
+        evaluator = self._build_evaluator(combined)
+        computed = self._compute(
+            evaluator, len(rows), n_full=None, rows=rows, cols=cols, progress=progress
+        )
+        new_values[_condensed_indices(rows, cols, n_new)] = computed
+        self.stats.n_items = n_new
+        self.stats.n_pairs = len(rows)
+        return CondensedMatrix(n_new, new_values)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _build_evaluator(self, items: Sequence):
+        if isinstance(self.metric, PacketDistance):
+            self.stats = EngineStats(mode="packet")
+            evaluator = _PacketEvaluator(self.metric, items)
+            self.stats.singles.precomputed = evaluator.ncd.stats.precomputed
+            return evaluator
+        self.stats = EngineStats(mode="generic")
+        return _GenericEvaluator(self.metric, items)
+
+    def _compute(
+        self,
+        evaluator,
+        total: int,
+        *,
+        n_full: int | None,
+        rows: np.ndarray | None,
+        cols: np.ndarray | None,
+        progress: Callable[[int, int], None] | None,
+    ) -> np.ndarray:
+        self.stats.workers_requested = self.workers
+        if total == 0:
+            return np.empty(0, dtype=float)
+        workers = min(self.workers, total)
+        chunk = max(1, min(self.chunk_pairs, math.ceil(total / max(1, workers))))
+        tasks = [(start, min(start + chunk, total)) for start in range(0, total, chunk)]
+        self.stats.chunks = len(tasks)
+
+        payload: bytes | None = None
+        if workers > 1:
+            try:
+                payload = pickle.dumps(
+                    _WorkerState(evaluator=evaluator, n_full=n_full, rows=rows, cols=cols)
+                )
+            except Exception as exc:  # unpicklable metric/items: stay serial
+                self.stats.fallback = f"serial fallback: {exc.__class__.__name__}: {exc}"
+                workers = 1
+
+        values = np.empty(total, dtype=float)
+        if workers <= 1 or payload is None:
+            self.stats.workers_used = 1
+            if rows is None:
+                rows, cols = np.triu_indices(n_full, k=1)
+            done = 0
+            for start, stop in tasks:
+                chunk_values, delta = evaluator.pairs(rows[start:stop], cols[start:stop])
+                values[start:stop] = chunk_values
+                self._absorb(delta)
+                done = stop
+                if progress is not None:
+                    progress(done, total)
+            return values
+
+        workers = min(workers, len(tasks))
+        self.stats.workers_used = workers
+        with _pool_context().Pool(
+            processes=workers, initializer=_worker_init, initargs=(payload,)
+        ) as pool:
+            done = 0
+            for (start, stop), (chunk_values, delta) in zip(
+                tasks, pool.imap(_worker_chunk, tasks)
+            ):
+                values[start:stop] = chunk_values
+                self._absorb(delta)
+                done = stop
+                if progress is not None:
+                    progress(done, total)
+        return values
+
+    def _absorb(self, delta: _ChunkStats) -> None:
+        self.stats.pair_hits += delta.pair_hits
+        self.stats.pair_misses += delta.pair_misses
+        self.stats.singles.hits += delta.singles_hits
+        self.stats.singles.misses += delta.singles_misses
+
+
+def _condensed_indices(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:
+    """Condensed (upper-triangle, row-major) index of each ``(i, j)`` pair."""
+    return rows * n - rows * (rows + 1) // 2 + (cols - rows - 1)
+
+
+def engine_matrix(
+    items: Sequence,
+    metric: Callable,
+    *,
+    workers: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> CondensedMatrix:
+    """One-shot convenience wrapper: build a matrix through the engine."""
+    return DistanceEngine(metric, workers=workers).matrix(items, progress=progress)
+
+
+class MatrixCache:
+    """A condensed matrix that grows with its item list.
+
+    Consumers that accumulate packets over time (incremental consolidation,
+    streaming re-clustering) call :meth:`add` with each new tranche; only
+    the new-pair block is computed, via :meth:`DistanceEngine.extend`.
+    """
+
+    def __init__(self, engine: DistanceEngine | None = None) -> None:
+        self.engine = engine or DistanceEngine()
+        self.items: list = []
+        self.matrix: CondensedMatrix | None = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def add(self, new_items: Sequence) -> CondensedMatrix:
+        """Extend the cached matrix with ``new_items`` and return it."""
+        new_items = list(new_items)
+        if self.matrix is None:
+            self.items = new_items
+            self.matrix = self.engine.matrix(self.items)
+        elif new_items:
+            self.matrix = self.engine.extend(self.matrix, self.items, new_items)
+            self.items.extend(new_items)
+        return self.matrix
+
+    def rebuild(self, items: Sequence) -> CondensedMatrix:
+        """Replace the cached population outright (full recompute)."""
+        self.items = list(items)
+        self.matrix = self.engine.matrix(self.items)
+        return self.matrix

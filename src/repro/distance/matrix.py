@@ -49,13 +49,12 @@ class CondensedMatrix:
         return float(self.values[self._index(i, j)])
 
     def to_square(self) -> np.ndarray:
-        """Expand to a full symmetric ``n x n`` array."""
+        """Expand to a full symmetric ``n x n`` array (vectorized fill)."""
         square = np.zeros((self.n, self.n), dtype=float)
-        k = 0
-        for i in range(self.n):
-            for j in range(i + 1, self.n):
-                square[i, j] = square[j, i] = self.values[k]
-                k += 1
+        if self.values.size:
+            rows, cols = np.triu_indices(self.n, k=1)
+            square[rows, cols] = self.values
+            square[cols, rows] = self.values
         return square
 
     @property

@@ -19,7 +19,8 @@ import bz2
 import enum
 import lzma
 import zlib
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.errors import DistanceError
 
@@ -95,12 +96,43 @@ def ncd(
     return value
 
 
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for a memoized ``C(x)`` cache.
+
+    ``precomputed`` counts entries filled by :meth:`NcdCalculator.precompute`
+    (charged up front, so they are neither hits nor misses of the lazy path).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    precomputed: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lazy lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another counter set (used to merge worker deltas)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.precomputed += other.precomputed
+
+
 class NcdCalculator:
     """NCD with memoized single-string compressed lengths.
 
     Pairwise distance matrices over M packets evaluate ``C(x)`` for the
     same ``x`` up to M-1 times; caching those (but not the pair terms,
     which are all distinct) removes about half the compression work.
+    :meth:`precompute` batch-fills the cache for a whole corpus up front so
+    the pair loop — possibly running in worker processes — never compresses
+    a single string lazily.
 
     :param compressor: which compressor backs ``C``.
     :param clamp: clip results into ``[0, 1]``.
@@ -109,6 +141,7 @@ class NcdCalculator:
     def __init__(self, compressor: Compressor = Compressor.ZLIB, *, clamp: bool = True) -> None:
         self.compressor = compressor
         self.clamp = clamp
+        self.stats = CacheStats()
         self._length_cache: dict[bytes, int] = {}
         self._length = _COMPRESSED_LENGTH[compressor]
 
@@ -116,9 +149,29 @@ class NcdCalculator:
         """Memoized ``C(data)``."""
         cached = self._length_cache.get(data)
         if cached is None:
+            self.stats.misses += 1
             cached = self._length(data)
             self._length_cache[data] = cached
+        else:
+            self.stats.hits += 1
         return cached
+
+    def precompute(self, blobs: Iterable[bytes]) -> int:
+        """Batch-fill ``C(x)`` for every distinct blob not already cached.
+
+        Empty blobs are skipped — :meth:`distance` short-circuits them
+        before any length lookup.  Returns how many lengths were newly
+        computed, and charges them to ``stats.precomputed``.
+        """
+        cache = self._length_cache
+        length = self._length
+        new = 0
+        for blob in blobs:
+            if blob and blob not in cache:
+                cache[blob] = length(blob)
+                new += 1
+        self.stats.precomputed += new
+        return new
 
     def distance(self, x: bytes, y: bytes) -> float:
         """NCD using the memoized single-string lengths."""
@@ -139,3 +192,4 @@ class NcdCalculator:
 
     def clear_cache(self) -> None:
         self._length_cache.clear()
+        self.stats = CacheStats()

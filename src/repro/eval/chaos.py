@@ -27,7 +27,7 @@ from typing import Iterable, Sequence
 
 from repro.core.distribution import FetchStatus, SignatureChannel, SignatureFetcher
 from repro.core.flowcontrol import FlowControlApp
-from repro.core.server import SignatureServer
+from repro.core.server import ServerConfig, SignatureServer
 from repro.reliability.faults import FaultPlan
 from repro.reliability.retry import CircuitBreaker, RetryPolicy
 from repro.sensitive.payload_check import PayloadCheck
@@ -64,6 +64,7 @@ def run_chaos_sweep(
     seed: int = 0,
     retry: RetryPolicy | None = None,
     detector_mode: str = "conservative",
+    workers: int = 1,
 ) -> list[ChaosPoint]:
     """Sweep fault rates over the distribution channel.
 
@@ -85,9 +86,11 @@ def run_chaos_sweep(
     :param seed: determinism root for sampling, faults, and jitter.
     :param retry: device retry policy (default: 3 attempts, fast backoff).
     :param detector_mode: keyword-baseline escalation used in degraded mode.
+    :param workers: distance-engine process count for signature generation
+        (sweep output is bit-identical for any setting).
     """
     retry = retry or RetryPolicy(max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.25)
-    server = SignatureServer(check)
+    server = SignatureServer(check, config=ServerConfig(workers=workers))
     server.ingest(trace)
     v1 = server.generate(max(10, n_sample // 2), seed=seed)
     v2 = server.generate(n_sample, seed=seed + 1)

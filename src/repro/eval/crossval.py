@@ -20,7 +20,7 @@ from typing import Sequence
 from repro.clustering.linkage import agglomerate
 from repro.core.pipeline import PipelineConfig
 from repro.dataset.split import holdout_split, sample_packets
-from repro.distance.matrix import distance_matrix
+from repro.distance.engine import DistanceEngine
 from repro.errors import ReproError
 from repro.http.packet import HttpPacket
 from repro.signatures.generator import SignatureGenerator
@@ -41,9 +41,13 @@ class HoldoutResult:
 def generate_from(
     packets: Sequence[HttpPacket], config: PipelineConfig | None = None
 ):
-    """Cluster + generate over an explicit training sample."""
+    """Cluster + generate over an explicit training sample.
+
+    The pairwise matrix goes through the distance engine, honouring the
+    config's ``workers`` knob (serial by default, bit-identical always).
+    """
     config = config or PipelineConfig()
-    matrix = distance_matrix(list(packets), config.distance)
+    matrix = DistanceEngine(config.distance, workers=config.workers).matrix(list(packets))
     dendrogram = agglomerate(matrix, config.linkage)
     return SignatureGenerator(config.generator).from_dendrogram(dendrogram, list(packets))
 

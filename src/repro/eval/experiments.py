@@ -7,7 +7,7 @@ re-apply the signatures to the entire dataset and report TP/FN/FP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.pipeline import DetectionPipeline, PipelineConfig
 from repro.dataset.trace import Trace
@@ -43,13 +43,19 @@ def run_fig4_sweep(
     *,
     config: PipelineConfig | None = None,
     seed: int = 0,
+    workers: int | None = None,
 ) -> list[Fig4Point]:
     """The full Fig 4 experiment on one corpus.
 
     Sample sizes exceeding the suspicious population (possible on scaled-
     down corpora) are clamped by the pipeline; the returned points carry
     the effective N.
+
+    :param workers: overrides the config's distance-engine worker count
+        (the sweep output is bit-identical for any setting).
     """
+    if workers is not None:
+        config = replace(config or PipelineConfig(), workers=workers)
     pipeline = DetectionPipeline(trace, payload_check, config)
     points: list[Fig4Point] = []
     for index, n in enumerate(sample_sizes):

@@ -222,3 +222,23 @@ class TestChaos:
     def test_rejects_malformed_rates(self, capsys):
         assert main(["chaos", "--rates", "zero,half"]) == 2
         assert "comma-separated" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_quick_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "bench", "--quick", "--apps", "30", "--sample", "16",
+                "--workers", "2", "--seed", "3", "--screen", "200",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Perf bench" in text
+        data = json.loads(out.read_text())
+        assert data["bench"] == "perf"
+        assert data["identical"] is True
+        assert data["workers"] == 2
+        assert data["violations"] == []

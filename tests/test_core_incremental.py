@@ -84,6 +84,40 @@ class TestRetirement:
         assert sum(counts.values()) == 4
 
 
+class TestConsolidationMatrixCache:
+    def test_material_retained_and_matrix_extended(self):
+        incset = IncrementalSignatureSet()
+        incset.update([module_packet("alpha", i) for i in range(8)])
+        incset.update([module_packet("alpha", i) for i in range(8, 16)])  # exemplars
+        incset.consolidate()
+        first = incset.consolidation_material
+        assert first >= 6
+        incset.update([module_packet("beta", i) for i in range(8)])
+        incset.update([module_packet("beta", i) for i in range(8, 16)])
+        incset.consolidate()
+        # Second consolidation extends the cached matrix instead of
+        # starting over: earlier material is still in the pool.
+        assert incset.consolidation_material > first
+        matrix = incset._consolidation.matrix
+        assert matrix is not None and matrix.n == incset.consolidation_material
+
+    def test_material_bounded_by_cap(self):
+        incset = IncrementalSignatureSet(max_consolidation_material=10)
+        incset.update([module_packet("alpha", i) for i in range(8)])
+        incset.update([module_packet("alpha", i) for i in range(8, 16)])
+        incset.consolidate()
+        incset.update([module_packet("beta", i) for i in range(8)])
+        incset.update([module_packet("beta", i) for i in range(8, 16)])
+        incset.consolidate()
+        assert incset.consolidation_material <= 10
+
+    def test_consolidation_below_mass_is_a_noop(self):
+        incset = IncrementalSignatureSet(min_residue=6)
+        incset.update([module_packet("alpha", i) for i in range(3)])
+        assert incset.consolidate() == 0
+        assert incset.consolidation_material == 0
+
+
 class TestOnCorpus:
     def test_streaming_matches_batch_quality(self, small_corpus, small_split):
         """Feeding the suspicious group in batches converges to a set with

@@ -35,6 +35,20 @@ class TestDistanceMatrix:
         assert square[0, 2] == 3.0
         assert np.all(np.diag(square) == 0)
 
+    def test_to_square_matches_reference_loop(self):
+        """Regression: the vectorized fill equals the elementwise expansion."""
+        rng = np.random.default_rng(5)
+        for n in (0, 1, 2, 3, 7, 20):
+            values = rng.uniform(0.0, 6.0, size=n * (n - 1) // 2)
+            m = CondensedMatrix(n, values)
+            reference = np.zeros((n, n))
+            k = 0
+            for i in range(n):
+                for j in range(i + 1, n):
+                    reference[i, j] = reference[j, i] = values[k]
+                    k += 1
+            assert np.array_equal(m.to_square(), reference)
+
     def test_min_max(self):
         m = distance_matrix([0.0, 1.0, 10.0], abs_metric)
         assert m.min == 1.0
