@@ -1,0 +1,76 @@
+"""Serving bench — the gateway as a service under load.
+
+Runs the full :func:`repro.serving.bench.run_serving_bench` at a reduced
+scale and asserts the serving contract the ISSUE promises:
+
+- batched/sharded screening is bit-identical to the scalar matcher in
+  every scenario (the ``identical`` audit);
+- the steady scenario serves without meaningful shedding;
+- the overload scenario actually overloads (sheds traffic) yet every
+  request still receives a verdict;
+- the hot reload applies exactly once per scenario, the stale
+  re-publication is rejected, and decisions span both generations;
+- the whole report is deterministic for a fixed seed.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.serving.bench import ServingBudget, run_serving_bench
+
+SEED = 9
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_serving_bench(
+        n_apps=80, events=2000, sample=60, seed=SEED, budget=ServingBudget()
+    )
+
+
+def test_budget_ok(report):
+    emit("serving_bench", report.render())
+    assert report.ok, report.violations
+
+
+def test_bit_identical_everywhere(report):
+    assert all(scenario["identical"] for scenario in report.scenarios)
+
+
+def test_steady_serves_overload_sheds(report):
+    steady = report.scenario("steady")
+    overload = report.scenario("overload")
+    assert steady["shed_rate"] <= 0.05
+    assert overload["shed_rate"] >= 0.01
+    # every arrival got a verdict in both regimes
+    for scenario in (steady, overload):
+        assert sum(scenario["outcomes"].values()) == scenario["n_events"]
+
+
+def test_latency_percentiles_ordered(report):
+    for scenario in report.scenarios:
+        latency = scenario["latency_ticks"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        assert latency["p50"] > 0
+
+
+def test_reload_generation_stats(report):
+    for scenario in report.scenarios:
+        reloads = scenario["reloads"]
+        assert reloads["applied"] == 1
+        assert reloads["rejected"] == 1  # the stale re-publication
+        assert reloads["boot_version"] == 1 and reloads["final_version"] == 2
+        assert set(reloads["decisions_by_generation"]) == {"1", "2"}
+
+
+def test_report_deterministic(report):
+    again = run_serving_bench(
+        n_apps=80, events=2000, sample=60, seed=SEED, budget=ServingBudget()
+    )
+    a, b = report.to_dict(), again.to_dict()
+    for scenario in (*a["scenarios"], *b["scenarios"]):
+        scenario.pop("wall_s")
+        scenario.pop("screened_per_s_wall")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

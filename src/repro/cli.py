@@ -17,6 +17,7 @@
     repro fig4    --apps 300 --seed 0
     repro chaos   --apps 80 --seed 0 --rates 0,0.1,0.25,0.5
     repro bench   --apps 300 --sample 200 --workers 4 --out BENCH_perf.json
+    repro serve   --apps 120 --events 4000 --shards 4 --out BENCH_serving.json
 
 Trace paths ending in ``.gz`` are read/written gzip-compressed.
 Every command is pure computation over files — no network, no device.
@@ -253,6 +254,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.bench import ServingBudget, run_serving_bench
+    from repro.serving.gateway import ShedPolicy
+
+    if args.quick:
+        # Smoke configuration: small corpus and stream; the equivalence
+        # and reload gates still apply — only scale shrinks.
+        n_apps = min(args.apps, 60)
+        events = min(args.events, 1200)
+        sample = min(args.sample, 40)
+    else:
+        n_apps, events, sample = args.apps, args.events, args.sample
+    report = run_serving_bench(
+        n_apps=n_apps,
+        events=events,
+        sample=sample,
+        seed=args.seed,
+        batch_size=args.batch,
+        n_shards=args.shards,
+        queue_capacity=args.queue,
+        shed_policy=ShedPolicy(args.policy),
+        budget=ServingBudget(),
+        telemetry_dir=args.telemetry or None,
+    )
+    print(report.render())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    if args.telemetry:
+        print(f"wrote telemetry JSONL under {args.telemetry}/")
+    return 0 if report.ok else 1
+
+
 def cmd_fig4(args: argparse.Namespace) -> int:
     from repro.eval.experiments import run_fig4_sweep, scaled_sweep
     from repro.eval.report import render_fig4
@@ -351,6 +385,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="required engine-vs-naive serial speedup")
     p.add_argument("--out", default="", help="write the JSON report here")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the online screening gateway bench; emits BENCH_serving.json"
+    )
+    p.add_argument("--apps", type=int, default=120)
+    p.add_argument("--events", type=int, default=4000, help="arrivals per scenario")
+    p.add_argument("--sample", type=int, default=120, help="M packets per signature set")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=8, help="micro-batch size")
+    p.add_argument("--shards", type=int, default=4, help="signature shards")
+    p.add_argument("--queue", type=int, default=64, help="admission queue capacity")
+    p.add_argument("--policy", choices=("degrade", "drop"), default="degrade",
+                   help="load-shedding policy when the queue is full")
+    p.add_argument("--quick", action="store_true", help="smoke scale for CI")
+    p.add_argument("--telemetry", default="", help="directory for span-log JSONL export")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("chaos", help="sweep distribution-channel fault rates")
     p.add_argument("--apps", type=int, default=80)

@@ -63,6 +63,21 @@ class SignatureChannel:
         """The newest published ``set_version`` (0 when nothing published)."""
         return len(self._envelopes)
 
+    def envelope(self, set_version: int) -> SignatureEnvelope:
+        """The parsed envelope of one published version.
+
+        Lets a serving gateway build hot-reload schedules from the
+        channel's publication history (and tests fetch a known-stale
+        version to assert never-regress behaviour).
+
+        :raises DistributionError: for an unpublished version.
+        """
+        if not 1 <= set_version <= len(self._envelopes):
+            raise DistributionError(
+                f"version {set_version} not published (have 1..{len(self._envelopes)})"
+            )
+        return SignatureStore.loads_envelope(self._envelopes[set_version - 1])
+
     def transmit(self, *labels: str) -> tuple[bytes | None, FaultKind, float]:
         """One delivery attempt of the latest envelope.
 

@@ -44,6 +44,9 @@ class Decision:
     :param degraded: ``True`` when the decision came from the degraded-mode
         keyword fallback rather than a server signature — callers can
         weigh such verdicts differently (e.g. prompt instead of block).
+    :param applied_rule: the ``(app_id, domain)`` key of the explicit
+        :class:`PolicyStore` rule that determined ``action``, or ``None``
+        when the PROMPT default (or no policy at all) applied.
     """
 
     packet: HttpPacket
@@ -52,6 +55,7 @@ class Decision:
     action: PolicyAction
     signature: ConjunctionSignature | None = None
     degraded: bool = False
+    applied_rule: tuple[str, str] | None = None
 
 
 @dataclass
@@ -68,10 +72,22 @@ class PolicyStore:
         self.rules[(app_id, domain)] = action
 
     def lookup(self, app_id: str, domain: str) -> PolicyAction:
-        specific = self.rules.get((app_id, domain))
-        if specific is not None:
-            return specific
-        return self.rules.get((app_id, ""), PolicyAction.PROMPT)
+        return self.lookup_rule(app_id, domain)[0]
+
+    def lookup_rule(
+        self, app_id: str, domain: str
+    ) -> tuple[PolicyAction, tuple[str, str] | None]:
+        """The applicable action plus the explicit rule key that set it.
+
+        The key is ``None`` when no explicit rule exists and the PROMPT
+        default applies — letting callers distinguish "user said allow"
+        from "nobody ever decided".
+        """
+        for key in ((app_id, domain), (app_id, "")):
+            action = self.rules.get(key)
+            if action is not None:
+                return action, key
+        return PolicyAction.PROMPT, None
 
 
 class FlowControlApp:
@@ -158,9 +174,29 @@ class FlowControlApp:
         an empty set and a configured ``degraded_detector``, the detector
         screens instead and the decision is marked ``degraded`` so callers
         can distinguish baseline verdicts from signature verdicts.
+
+        Ordering: an *explicit* ALLOW rule is consulted before degraded-mode
+        keyword screening — the user's standing decision outranks the noisy
+        fallback detector, so such packets transmit unflagged (and without
+        paying for the regex scan).  Server signatures, being precise, still
+        screen first: an ALLOW rule there records the rule but keeps the
+        flag in history.
         """
         degraded = self.is_degraded
+        domain = packet.destination.registered_domain
         if degraded:
+            action, rule = self.policies.lookup_rule(packet.app_id, domain)
+            if rule is not None and action is PolicyAction.ALLOW:
+                decision = Decision(
+                    packet=packet,
+                    transmitted=True,
+                    flagged=False,
+                    action=PolicyAction.ALLOW,
+                    degraded=True,
+                    applied_rule=rule,
+                )
+                self.history.append(decision)
+                return decision
             flagged = bool(self.degraded_detector.is_sensitive(packet))
             signature = None
         else:
@@ -176,7 +212,7 @@ class FlowControlApp:
                 degraded=degraded,
             )
         else:
-            action = self.policies.lookup(packet.app_id, packet.destination.registered_domain)
+            action, rule = self.policies.lookup_rule(packet.app_id, domain)
             if action is PolicyAction.ALLOW:
                 transmitted = True
             elif action is PolicyAction.BLOCK:
@@ -190,6 +226,7 @@ class FlowControlApp:
                 action=action,
                 signature=signature,
                 degraded=degraded,
+                applied_rule=rule,
             )
         self.history.append(decision)
         return decision

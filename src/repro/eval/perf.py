@@ -40,7 +40,12 @@ from repro.signatures.generator import GeneratorConfig, SignatureGenerator
 from repro.signatures.matcher import SignatureMatcher
 
 
-def _cpu_count() -> int:
+def cpu_count() -> int:
+    """Usable CPU count (affinity-aware on Linux).
+
+    Shared by the perf and serving benches so their reports agree on what
+    hardware a number was produced on.
+    """
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
@@ -279,7 +284,7 @@ def run_perf_bench(
         m=m,
         n_pairs=m * (m - 1) // 2,
         workers=workers,
-        cpu_count=_cpu_count(),
+        cpu_count=cpu_count(),
         seed=seed,
         matrix_naive_s=matrix_naive_s,
         matrix_serial_s=matrix_serial_s,

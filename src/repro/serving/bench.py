@@ -1,0 +1,374 @@
+"""The serving bench: scenarios, equivalence audit, ``BENCH_serving.json``.
+
+Two standard scenarios exercise the gateway end to end over one corpus
+and one published signature history (version 1 at boot, version 2 hot-
+reloaded mid-stream, plus a deliberately stale re-publication of version
+1 that must be rejected):
+
+- ``steady`` — offered load comfortably below service capacity; nothing
+  should shed, latency stays near one batch service time;
+- ``overload`` — offered load several times capacity plus a burst window;
+  the queue fills, the shed policy engages, and the report records how
+  much traffic was dropped or degraded.
+
+After each run the bench **audits equivalence**: every screened verdict is
+recompared against a sequential
+:class:`~repro.signatures.matcher.SignatureMatcher` built from the same
+generation's signature set — the batched, sharded, hot-reloading path must
+be bit-identical to the scalar matcher, and the report's ``identical``
+flag (enforced by :class:`ServingBudget`) says so.
+
+The JSON report mirrors ``BENCH_perf.json``: machine-readable trajectory,
+human ``render()``, and budget violations that fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.distribution import SignatureChannel
+from repro.core.server import SignatureServer
+from repro.eval.perf import cpu_count
+from repro.serving.gateway import (
+    GatewayConfig,
+    ReloadEvent,
+    ScreeningGateway,
+    ServeResult,
+    ShedPolicy,
+)
+from repro.serving.loadgen import FleetLoadGenerator, LoadProfile, ScreeningEvent
+from repro.serving.telemetry import ServingTelemetry
+from repro.signatures.matcher import SignatureMatcher
+from repro.simulation.corpus import build_corpus
+
+
+@dataclass(frozen=True, slots=True)
+class ServingBudget:
+    """Gates the serving bench enforces (``None`` disables a gate).
+
+    Equivalence (``identical``) is always enforced — a gateway that
+    returns different verdicts than the scalar matcher is wrong, not slow.
+
+    :param max_steady_shed_rate: ceiling on shed traffic in ``steady``.
+    :param min_overload_shed_rate: floor on shed traffic in ``overload``
+        (proves the scenario actually overloads the gateway).
+    :param min_reloads_applied: hot reloads each scenario must apply.
+    """
+
+    max_steady_shed_rate: float | None = 0.05
+    min_overload_shed_rate: float | None = 0.01
+    min_reloads_applied: int | None = 1
+
+    def violations(self, report: "ServingReport") -> list[str]:
+        found: list[str] = []
+        for scenario in report.scenarios:
+            if not scenario["identical"]:
+                found.append(
+                    f"{scenario['name']}: gateway verdicts diverge from "
+                    "sequential SignatureMatcher"
+                )
+            applied = scenario["reloads"]["applied"]
+            if self.min_reloads_applied is not None and applied < self.min_reloads_applied:
+                found.append(
+                    f"{scenario['name']}: {applied} hot reloads applied "
+                    f"< {self.min_reloads_applied}"
+                )
+        steady = report.scenario("steady")
+        if (
+            steady is not None
+            and self.max_steady_shed_rate is not None
+            and steady["shed_rate"] > self.max_steady_shed_rate
+        ):
+            found.append(
+                f"steady: shed rate {steady['shed_rate']:.3f} "
+                f"> {self.max_steady_shed_rate:.3f}"
+            )
+        overload = report.scenario("overload")
+        if (
+            overload is not None
+            and self.min_overload_shed_rate is not None
+            and overload["shed_rate"] < self.min_overload_shed_rate
+        ):
+            found.append(
+                f"overload: shed rate {overload['shed_rate']:.3f} "
+                f"< {self.min_overload_shed_rate:.3f} (scenario did not overload)"
+            )
+        return found
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_steady_shed_rate": self.max_steady_shed_rate,
+            "min_overload_shed_rate": self.min_overload_shed_rate,
+            "min_reloads_applied": self.min_reloads_applied,
+        }
+
+
+@dataclass(slots=True)
+class ServingReport:
+    """One serving bench run, ready for ``BENCH_serving.json``."""
+
+    n_apps: int
+    n_events: int
+    seed: int
+    n_signatures: dict[str, int]
+    gateway: dict[str, Any]
+    scenarios: list[dict[str, Any]] = field(default_factory=list)
+    budget: dict[str, Any] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    def scenario(self, name: str) -> dict[str, Any] | None:
+        for scenario in self.scenarios:
+            if scenario["name"] == name:
+                return scenario
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": "serving",
+            "corpus": {"n_apps": self.n_apps, "seed": self.seed},
+            "n_events": self.n_events,
+            "cpu_count": cpu_count(),
+            "n_signatures": self.n_signatures,
+            "gateway": self.gateway,
+            "scenarios": self.scenarios,
+            "budget": self.budget,
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def render(self) -> str:
+        """Fixed-width human summary, in the repo's report style."""
+        lines = [
+            "Serving bench — online screening gateway",
+            f"  corpus apps={self.n_apps} events={self.n_events} "
+            f"batch={self.gateway['batch_size']} shards={self.gateway['n_shards']} "
+            f"queue={self.gateway['queue_capacity']} policy={self.gateway['shed_policy']}",
+            f"  {'scenario':<10} {'events':>7} {'shed%':>7} {'thru/ktick':>11} "
+            f"{'p50':>6} {'p95':>6} {'p99':>6} {'gen':>4} {'identical':>10}",
+        ]
+        for s in self.scenarios:
+            latency = s["latency_ticks"]
+            lines.append(
+                f"  {s['name']:<10} {s['n_events']:>7d} {100 * s['shed_rate']:>6.1f}% "
+                f"{s['throughput_per_ktick']:>11.1f} {latency['p50']:>6.1f} "
+                f"{latency['p95']:>6.1f} {latency['p99']:>6.1f} "
+                f"{s['reloads']['final_generation']:>4d} {str(s['identical']):>10}"
+            )
+        for s in self.scenarios:
+            reloads = s["reloads"]
+            lines.append(
+                f"  {s['name']}: reloads applied={reloads['applied']} "
+                f"rejected={reloads['rejected']} "
+                f"versions {reloads['boot_version']}->{reloads['final_version']}; "
+                f"wall {s['wall_s']:.3f}s ({s['screened_per_s_wall']:.0f} screened/s)"
+            )
+        if self.violations:
+            lines.append("  BUDGET VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  budget: ok")
+        return "\n".join(lines)
+
+
+def audit_equivalence(
+    results: Sequence[ServeResult],
+    reference: dict[int, SignatureMatcher],
+) -> bool:
+    """Recompare every screened verdict against the scalar matcher.
+
+    :param results: gateway output.
+    :param reference: ``set_version -> SignatureMatcher`` over the same
+        signature sets the gateway served.
+    :returns: ``True`` when every screened result is bit-identical.
+    """
+    for result in results:
+        if not result.screened:
+            continue
+        expected = reference[result.set_version].match(result.event.packet)
+        if expected != result.match:
+            return False
+    return True
+
+
+def _scenario_dict(
+    name: str,
+    results: Sequence[ServeResult],
+    telemetry: ServingTelemetry,
+    wall_s: float,
+    boot_version: int,
+    gateway: ScreeningGateway,
+    identical: bool,
+) -> dict[str, Any]:
+    """Summarize one scenario run for the report."""
+    n_events = len(results)
+    shed = sum(1 for r in results if not r.screened)
+    screened = n_events - shed
+    makespan = max((r.completed_tick for r in results), default=0.0)
+    outcomes: dict[str, int] = {}
+    by_generation: dict[str, int] = {}
+    for result in results:
+        outcomes[result.outcome.value] = outcomes.get(result.outcome.value, 0) + 1
+        key = str(result.generation)
+        by_generation[key] = by_generation.get(key, 0) + 1
+    latency = telemetry.histograms["latency_ticks"]
+    depth = telemetry.histograms["queue_depth"]
+    return {
+        "name": name,
+        "n_events": n_events,
+        "admitted": telemetry.counters.get("admitted", 0),
+        "shed": shed,
+        "shed_rate": round(shed / n_events, 4) if n_events else 0.0,
+        "batches": telemetry.counters.get("batches", 0),
+        "makespan_ticks": round(makespan, 2),
+        "throughput_per_ktick": round(1000.0 * n_events / makespan, 1) if makespan else 0.0,
+        "wall_s": round(wall_s, 4),
+        "screened_per_s_wall": round(screened / wall_s, 1) if wall_s else 0.0,
+        "latency_ticks": {
+            "p50": latency.percentile(0.50),
+            "p95": latency.percentile(0.95),
+            "p99": latency.percentile(0.99),
+            "mean": round(latency.mean, 3),
+            "max": latency.max_value,
+        },
+        "queue_depth": {"p50": depth.percentile(0.50), "max": depth.max_value},
+        "outcomes": dict(sorted(outcomes.items())),
+        "reloads": {
+            "applied": telemetry.counters.get("reloads_applied", 0),
+            "rejected": telemetry.counters.get("reloads_rejected", 0),
+            "boot_version": boot_version,
+            "final_version": gateway.set_version,
+            "final_generation": gateway.generation,
+            "decisions_by_generation": dict(sorted(by_generation.items())),
+        },
+        "identical": identical,
+    }
+
+
+def run_serving_bench(
+    *,
+    n_apps: int = 120,
+    events: int = 4000,
+    sample: int = 120,
+    seed: int = 0,
+    batch_size: int = 8,
+    n_shards: int = 4,
+    queue_capacity: int = 64,
+    shed_policy: ShedPolicy = ShedPolicy.DEGRADE,
+    budget: ServingBudget | None = None,
+    telemetry_dir: str | Path | None = None,
+) -> ServingReport:
+    """Run the steady and overload scenarios and audit equivalence.
+
+    Deterministic for a given ``(n_apps, events, sample, seed)`` — wall
+    clock timings aside, two runs produce identical reports.
+
+    :param telemetry_dir: when given, each scenario's span log is exported
+        as ``serving_<scenario>.jsonl`` under this directory.
+    """
+    budget = budget or ServingBudget()
+    corpus = build_corpus(n_apps=n_apps, seed=seed)
+    server = SignatureServer(corpus.payload_check())
+    server.ingest(corpus.trace)
+    boot_signatures = server.generate(sample, seed=seed).signatures
+    reload_signatures = server.generate(sample, seed=seed + 1).signatures
+
+    channel = SignatureChannel()
+    boot_envelope = channel.publish(boot_signatures)
+    reload_envelope = channel.publish(reload_signatures)
+    stale_envelope = channel.envelope(boot_envelope.set_version)
+    reference = {
+        boot_envelope.set_version: SignatureMatcher(list(boot_envelope.signatures)),
+        reload_envelope.set_version: SignatureMatcher(list(reload_envelope.signatures)),
+    }
+
+    config = GatewayConfig(
+        queue_capacity=queue_capacity,
+        batch_size=batch_size,
+        n_shards=n_shards,
+        shed_policy=shed_policy,
+    )
+    service_cost = config.per_packet_ticks + config.batch_overhead_ticks / config.batch_size
+    profiles = {
+        "steady": LoadProfile(mean_interarrival_ticks=2.0 * service_cost),
+        # Sustained 2.5x-capacity load plus an early 4x burst window.
+        "overload": LoadProfile(
+            mean_interarrival_ticks=0.4 * service_cost,
+            burst_factor=4.0,
+            burst_start=10.0,
+            burst_ticks=80.0,
+        ),
+    }
+
+    report = ServingReport(
+        n_apps=n_apps,
+        n_events=events,
+        seed=seed,
+        n_signatures={
+            "boot": len(boot_signatures),
+            "reload": len(reload_signatures),
+        },
+        gateway={
+            "queue_capacity": queue_capacity,
+            "batch_size": batch_size,
+            "n_shards": n_shards,
+            "shed_policy": shed_policy.value,
+            "batch_overhead_ticks": config.batch_overhead_ticks,
+            "per_packet_ticks": config.per_packet_ticks,
+            "max_batch_wait_ticks": config.max_batch_wait_ticks,
+        },
+        budget=budget.to_dict(),
+    )
+
+    for name, profile in profiles.items():
+        generator = FleetLoadGenerator(corpus, profile, seed=seed)
+        stream: list[ScreeningEvent] = generator.events(events)
+        midpoint = stream[len(stream) // 2].tick
+        reloads = [
+            ReloadEvent(tick=midpoint, envelope=reload_envelope),
+            # A misbehaving cache re-publishes the boot version later on;
+            # the gateway must reject it (never-regress).
+            ReloadEvent(tick=midpoint + 1.0, envelope=stale_envelope),
+        ]
+        telemetry = ServingTelemetry()
+        gateway = ScreeningGateway(
+            boot_signatures,
+            config=config,
+            telemetry=telemetry,
+            set_version=boot_envelope.set_version,
+        )
+        started = time.perf_counter()
+        results = gateway.run(stream, reloads=reloads)
+        wall_s = time.perf_counter() - started
+        identical = audit_equivalence(results, reference)
+        report.scenarios.append(
+            _scenario_dict(
+                name,
+                results,
+                telemetry,
+                wall_s,
+                boot_envelope.set_version,
+                gateway,
+                identical,
+            )
+        )
+        if telemetry_dir is not None:
+            directory = Path(telemetry_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            telemetry.export_jsonl(directory / f"serving_{name}.jsonl")
+
+    report.violations = budget.violations(report)
+    return report
+

@@ -1,0 +1,331 @@
+"""The online screening gateway: admission, batching, shedding, hot reload.
+
+A deterministic discrete-event model of the serving data plane, driven by
+the same logical-tick clock as the rest of the repo (DESIGN.md §6):
+
+- **admission** — arrivals join a bounded queue; when it is full the
+  request is *shed* according to policy: ``DROP`` (fail-open, transmitted
+  unscreened) or ``DEGRADE`` (screened inline by the keyword baseline,
+  the same conservative fallback as
+  :meth:`repro.core.flowcontrol.FlowControlApp.degraded`, decision marked
+  degraded);
+- **batching** — a free matcher pool takes up to ``batch_size`` queued
+  requests; a partial batch waits at most ``max_batch_wait_ticks`` for
+  company.  Batch service time is ``batch_overhead_ticks +
+  per_packet_ticks * len(batch)``, so batching amortizes overhead and the
+  queue provides backpressure when arrivals outpace service;
+- **screening** — each batch runs on a :class:`~repro.serving.shards.ShardedMatcher`
+  whose verdicts are bit-identical to the scalar
+  :meth:`SignatureMatcher.match <repro.signatures.matcher.SignatureMatcher.match>`;
+- **hot reload** — :class:`ReloadEvent`\\ s carry
+  :class:`~repro.signatures.store.SignatureEnvelope`\\ s (the verified
+  over-the-wire form from :mod:`repro.core.distribution`).  A reload is an
+  atomic swap applied between batches: in-flight batches finish on the
+  generation they started with, no batch ever mixes generations, and a
+  stale envelope (``set_version`` not newer than the live one) is rejected
+  — the same never-regress rule as
+  :class:`~repro.core.distribution.SignatureFetcher`.
+
+Every decision is a :class:`ServeResult` carrying the generation that
+screened it; :class:`~repro.serving.telemetry.ServingTelemetry` records
+counters, latency/queue-depth histograms, and per-batch/per-reload spans.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.baselines.keyword import KeywordDetector
+from repro.errors import SimulationError
+from repro.serving.loadgen import ScreeningEvent
+from repro.serving.shards import ShardedMatcher
+from repro.serving.telemetry import ServingTelemetry
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.matcher import MatchResult
+from repro.signatures.store import SignatureEnvelope
+
+
+class ShedPolicy(enum.Enum):
+    """What to do with an arrival that finds the queue full."""
+
+    DROP = "drop"  # fail open: transmit unscreened
+    DEGRADE = "degrade"  # screen inline with the keyword baseline
+
+
+class ServeOutcome(enum.Enum):
+    """How one request left the gateway."""
+
+    CLEAN = "clean"  # screened, no signature fired
+    FLAGGED = "flagged"  # screened, a signature fired
+    SHED_DROPPED = "shed_dropped"  # queue full, passed through unscreened
+    SHED_DEGRADED_CLEAN = "shed_degraded_clean"  # keyword fallback, clean
+    SHED_DEGRADED_FLAGGED = "shed_degraded_flagged"  # keyword fallback, flagged
+
+
+@dataclass(frozen=True, slots=True)
+class GatewayConfig:
+    """Serving data-plane tuning.
+
+    :param queue_capacity: admission queue bound (arrivals beyond it shed).
+    :param batch_size: maximum requests per micro-batch.
+    :param n_shards: signature partitions per matcher generation.
+    :param shed_policy: overflow behaviour (see :class:`ShedPolicy`).
+    :param batch_overhead_ticks: fixed cost of dispatching one batch.
+    :param per_packet_ticks: marginal cost per request in a batch.
+    :param max_batch_wait_ticks: how long a partial batch may wait for
+        more arrivals before it is flushed anyway.
+    :param degraded_mode: keyword-detector escalation used when shedding
+        with ``DEGRADE`` (the conservative default mirrors
+        :meth:`FlowControlApp.degraded <repro.core.flowcontrol.FlowControlApp.degraded>`).
+    """
+
+    queue_capacity: int = 64
+    batch_size: int = 8
+    n_shards: int = 2
+    shed_policy: ShedPolicy = ShedPolicy.DEGRADE
+    batch_overhead_ticks: float = 1.0
+    per_packet_ticks: float = 0.25
+    max_batch_wait_ticks: float = 4.0
+    degraded_mode: str = "conservative"
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise SimulationError("queue_capacity must be >= 1")
+        if self.batch_size < 1:
+            raise SimulationError("batch_size must be >= 1")
+        if self.n_shards < 1:
+            raise SimulationError("n_shards must be >= 1")
+        if self.batch_overhead_ticks < 0 or self.per_packet_ticks < 0:
+            raise SimulationError("service costs must be non-negative")
+        if self.max_batch_wait_ticks < 0:
+            raise SimulationError("max_batch_wait_ticks must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ReloadEvent:
+    """A signature-set swap scheduled on the logical clock.
+
+    :param tick: earliest tick the swap may take effect.
+    :param envelope: the verified versioned envelope to install.
+    """
+
+    tick: float
+    envelope: SignatureEnvelope
+
+
+@dataclass(frozen=True, slots=True)
+class ServeResult:
+    """The gateway's verdict on one request.
+
+    :param event: the arrival this verdict answers.
+    :param outcome: how the request left the gateway.
+    :param generation: reload generation of the matcher that screened it
+        (generation 1 is the boot set; shed requests carry the generation
+        live at their arrival).
+    :param set_version: ``set_version`` of that generation's envelope.
+    :param match: the exact-match result for screened requests, ``None``
+        for shed ones.
+    :param completed_tick: when the verdict was produced.
+    :param batch_id: which micro-batch screened it (``-1`` for shed).
+    """
+
+    event: ScreeningEvent
+    outcome: ServeOutcome
+    generation: int
+    set_version: int
+    match: MatchResult | None
+    completed_tick: float
+    batch_id: int
+
+    @property
+    def latency_ticks(self) -> float:
+        """Arrival-to-verdict time on the logical clock."""
+        return self.completed_tick - self.event.tick
+
+    @property
+    def screened(self) -> bool:
+        """Whether the full signature matcher produced this verdict."""
+        return self.match is not None
+
+
+class ScreeningGateway:
+    """The serving data plane over one boot signature set.
+
+    :param signatures: the generation-1 signature set.
+    :param config: data-plane tuning.
+    :param telemetry: measurement sink (a fresh one is created if omitted).
+    :param set_version: version label of the boot set (as published by
+        :class:`~repro.core.distribution.SignatureChannel`).
+    """
+
+    def __init__(
+        self,
+        signatures: Sequence[ConjunctionSignature],
+        config: GatewayConfig | None = None,
+        telemetry: ServingTelemetry | None = None,
+        set_version: int = 1,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.telemetry = telemetry or ServingTelemetry()
+        self.generation = 1
+        self.set_version = set_version
+        self.matcher = ShardedMatcher(signatures, self.config.n_shards)
+        self._degraded_detector = KeywordDetector(self.config.degraded_mode)
+
+    # -- reload -------------------------------------------------------------------
+
+    def apply_reload(self, envelope: SignatureEnvelope, tick: float) -> bool:
+        """Atomically swap the live set; reject non-monotonic versions.
+
+        :returns: whether the swap was applied.
+        """
+        if envelope.set_version <= self.set_version:
+            self.telemetry.increment("reloads_rejected")
+            self.telemetry.span(
+                "reload_rejected",
+                tick=tick,
+                set_version=envelope.set_version,
+                live_version=self.set_version,
+            )
+            return False
+        self.generation += 1
+        self.set_version = envelope.set_version
+        self.matcher = ShardedMatcher(list(envelope.signatures), self.config.n_shards)
+        self.telemetry.increment("reloads_applied")
+        self.telemetry.span(
+            "reload",
+            tick=tick,
+            generation=self.generation,
+            set_version=self.set_version,
+            n_signatures=len(self.matcher),
+        )
+        return True
+
+    # -- the event loop -----------------------------------------------------------
+
+    def run(
+        self,
+        events: Iterable[ScreeningEvent],
+        reloads: Iterable[ReloadEvent] = (),
+    ) -> list[ServeResult]:
+        """Serve one arrival stream to completion.
+
+        :param events: arrivals in non-decreasing tick order (as produced
+            by :class:`~repro.serving.loadgen.FleetLoadGenerator`).
+        :param reloads: scheduled signature swaps; applied between batches
+            at the first dispatch at or after their tick.
+        :returns: one verdict per arrival, in arrival order.
+        """
+        arrivals = list(events)
+        pending_reloads = sorted(reloads, key=lambda r: r.tick)
+        if any(a.tick > b.tick for a, b in zip(arrivals, arrivals[1:])):
+            raise SimulationError("arrival stream must be tick-ordered")
+        config = self.config
+        queue: list[ScreeningEvent] = []
+        results: list[ServeResult] = []
+        pool_free_at = 0.0
+        clock = 0.0
+        batch_id = 0
+        index = 0
+        n = len(arrivals)
+        infinity = float("inf")
+
+        while index < n or queue:
+            next_arrival = arrivals[index].tick if index < n else infinity
+            if queue:
+                if len(queue) >= config.batch_size or index >= n:
+                    dispatch_at = max(pool_free_at, clock)
+                else:
+                    flush_at = queue[0].tick + config.max_batch_wait_ticks
+                    dispatch_at = max(pool_free_at, flush_at)
+            else:
+                dispatch_at = infinity
+
+            if next_arrival <= dispatch_at:
+                # Admit (or shed) the next arrival.
+                event = arrivals[index]
+                index += 1
+                clock = max(clock, event.tick)
+                self.telemetry.observe("queue_depth", len(queue))
+                if len(queue) >= config.queue_capacity:
+                    results.append(self._shed(event))
+                else:
+                    queue.append(event)
+                    self.telemetry.increment("admitted")
+                continue
+
+            # Dispatch one micro-batch.
+            clock = max(clock, dispatch_at)
+            while pending_reloads and pending_reloads[0].tick <= clock:
+                reload = pending_reloads.pop(0)
+                self.apply_reload(reload.envelope, tick=clock)
+            batch = queue[: config.batch_size]
+            del queue[: config.batch_size]
+            started = clock
+            finished = (
+                started
+                + config.batch_overhead_ticks
+                + config.per_packet_ticks * len(batch)
+            )
+            matches = self.matcher.match_batch([event.packet for event in batch])
+            for event, match in zip(batch, matches):
+                outcome = ServeOutcome.FLAGGED if match.matched else ServeOutcome.CLEAN
+                result = ServeResult(
+                    event=event,
+                    outcome=outcome,
+                    generation=self.generation,
+                    set_version=self.set_version,
+                    match=match,
+                    completed_tick=finished,
+                    batch_id=batch_id,
+                )
+                results.append(result)
+                self.telemetry.increment(f"decisions_{outcome.value}")
+                self.telemetry.observe("latency_ticks", result.latency_ticks)
+            self.telemetry.increment("batches")
+            self.telemetry.observe("batch_size", len(batch))
+            self.telemetry.span(
+                "batch",
+                batch_id=batch_id,
+                started=started,
+                finished=finished,
+                size=len(batch),
+                generation=self.generation,
+                set_version=self.set_version,
+            )
+            batch_id += 1
+            pool_free_at = finished
+            clock = max(clock, started)
+
+        # Any reloads scheduled after the last batch still apply (so a
+        # subsequent run() continues from the newest published set).
+        for reload in pending_reloads:
+            self.apply_reload(reload.envelope, tick=max(clock, reload.tick))
+
+        results.sort(key=lambda result: result.event.seq)
+        return results
+
+    # -- shedding -----------------------------------------------------------------
+
+    def _shed(self, event: ScreeningEvent) -> ServeResult:
+        """Apply the overflow policy to one rejected arrival."""
+        if self.config.shed_policy is ShedPolicy.DROP:
+            outcome = ServeOutcome.SHED_DROPPED
+        elif self._degraded_detector.is_sensitive(event.packet):
+            outcome = ServeOutcome.SHED_DEGRADED_FLAGGED
+        else:
+            outcome = ServeOutcome.SHED_DEGRADED_CLEAN
+        self.telemetry.increment("shed")
+        self.telemetry.increment(f"decisions_{outcome.value}")
+        self.telemetry.observe("shed_latency_ticks", 0.0)
+        return ServeResult(
+            event=event,
+            outcome=outcome,
+            generation=self.generation,
+            set_version=self.set_version,
+            match=None,
+            completed_tick=event.tick,
+            batch_id=-1,
+        )

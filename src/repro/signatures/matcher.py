@@ -3,7 +3,13 @@
 :class:`SignatureMatcher` is the exact conjunction matcher the paper
 evaluates: a packet is flagged when *any* signature matches.  Signatures
 are indexed by destination scope so a packet is only tested against the
-unscoped set plus the bucket of its own registered domain.
+unscoped set plus the bucket of its own registered domain, and every
+signature carries a *filter literal* (its most selective token, chosen
+once in ``__init__``): a packet whose text does not even contain that
+literal is never handed to the full left-to-right conjunction scan.  The
+inverted literal→signatures map is exposed as :attr:`SignatureMatcher.by_literal`
+so batch/shard engines (:mod:`repro.serving.shards`) can share one
+prefilter index instead of rebuilding it per shard.
 
 :class:`ProbabilisticMatcher` is the paper's future-work extension
 (probabilistic signatures a la Polygraph/Hamsa): it scores the
@@ -20,6 +26,16 @@ from typing import Iterable, Sequence
 
 from repro.http.packet import HttpPacket
 from repro.signatures.conjunction import ConjunctionSignature
+
+
+def filter_literal(signature: ConjunctionSignature) -> str:
+    """The signature's most selective token: longest, leftmost on ties.
+
+    A conjunction can only match text that contains *every* token, so
+    requiring any single token's presence is a sound prefilter; the
+    longest one rejects the most non-matching packets per substring test.
+    """
+    return max(signature.tokens, key=len)
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,26 +60,50 @@ class SignatureMatcher:
 
     def __init__(self, signatures: Sequence[ConjunctionSignature]) -> None:
         self.signatures = list(signatures)
-        self._by_domain: dict[str, list[ConjunctionSignature]] = defaultdict(list)
-        self._unscoped: list[ConjunctionSignature] = []
+        # Candidate indexes, built exactly once: destination-scope buckets
+        # of (filter_literal, signature) pairs plus the inverted
+        # literal -> signatures map shared with shard engines.
+        self._by_domain: dict[str, list[tuple[str, ConjunctionSignature]]] = defaultdict(list)
+        self._unscoped: list[tuple[str, ConjunctionSignature]] = []
+        self.by_literal: dict[str, list[ConjunctionSignature]] = defaultdict(list)
         for signature in self.signatures:
+            literal = filter_literal(signature)
+            self.by_literal[literal].append(signature)
             if signature.scope_domain:
-                self._by_domain[signature.scope_domain].append(signature)
+                self._by_domain[signature.scope_domain].append((literal, signature))
             else:
-                self._unscoped.append(signature)
+                self._unscoped.append((literal, signature))
 
     def __len__(self) -> int:
         return len(self.signatures)
 
-    def candidates_for(self, packet: HttpPacket) -> list[ConjunctionSignature]:
-        """Signatures whose scope admits this packet."""
+    def candidates_for(
+        self, packet: HttpPacket, text: str | None = None
+    ) -> list[ConjunctionSignature]:
+        """Signatures whose scope admits this packet.
+
+        With ``text`` (the packet's canonical text), the precomputed
+        literal prefilter also drops every signature whose filter literal
+        is absent — a pure narrowing that can never exclude a matching
+        signature, so :meth:`match` results are unchanged.  Without it,
+        the full scope-admitted set is returned (the probabilistic matcher
+        scores partial coverage and must see all candidates).
+        """
         scoped = self._by_domain.get(packet.destination.registered_domain, [])
-        return scoped + self._unscoped
+        if text is None:
+            return [signature for __, signature in scoped] + [
+                signature for __, signature in self._unscoped
+            ]
+        return [
+            signature
+            for literal, signature in (*scoped, *self._unscoped)
+            if literal in text
+        ]
 
     def match(self, packet: HttpPacket) -> MatchResult:
         """Screen one packet; first firing signature wins."""
         text = packet.canonical_text()
-        for signature in self.candidates_for(packet):
+        for signature in self.candidates_for(packet, text):
             if signature.matches_text(text):
                 return MatchResult(matched=True, signature=signature, score=1.0)
         return MatchResult(matched=False)

@@ -224,6 +224,31 @@ class TestChaos:
         assert "comma-separated" in capsys.readouterr().err
 
 
+class TestServe:
+    def test_quick_serve_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serving.json"
+        telemetry = tmp_path / "telemetry"
+        code = main(
+            [
+                "serve", "--quick", "--apps", "40", "--events", "600",
+                "--sample", "30", "--seed", "4", "--out", str(out),
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Serving bench" in text
+        data = json.loads(out.read_text())
+        assert data["bench"] == "serving"
+        assert data["violations"] == []
+        assert {s["name"] for s in data["scenarios"]} == {"steady", "overload"}
+        assert all(s["identical"] for s in data["scenarios"])
+        jsonl = sorted(telemetry.glob("serving_*.jsonl"))
+        assert len(jsonl) == 2
+        last = json.loads(jsonl[0].read_text().splitlines()[-1])
+        assert last["kind"] == "summary"
+
+
 class TestBench:
     def test_quick_bench_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_perf.json"

@@ -197,3 +197,65 @@ class TestFetch:
         published = SignatureStore.dumps([signature()])
         app = FlowControlApp.fetch(published)
         assert app.screen(leaky()).flagged
+
+
+class TestAllowRulePrecedence:
+    """Satellite: explicit ALLOW rules outrank degraded keyword screening."""
+
+    def leaky_keyword(self):
+        return make_packet(
+            host="ads.adnet.com", target="/x?imei=123456789012345", app_id="jp.app.one"
+        )
+
+    def test_allow_rule_skips_degraded_screening(self):
+        app = FlowControlApp.degraded()
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW)
+        decision = app.screen(self.leaky_keyword())
+        assert decision.transmitted
+        assert not decision.flagged  # keyword detector never consulted
+        assert decision.degraded
+        assert decision.applied_rule == ("jp.app.one", "")
+
+    def test_domain_allow_rule_also_wins(self):
+        app = FlowControlApp.degraded()
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW, domain="adnet.com")
+        decision = app.screen(self.leaky_keyword())
+        assert decision.transmitted and not decision.flagged
+        assert decision.applied_rule == ("jp.app.one", "adnet.com")
+
+    def test_without_rule_keyword_screening_runs_first(self):
+        # the opposite precedence order: no explicit rule -> detector decides
+        app = FlowControlApp.degraded()
+        decision = app.screen(self.leaky_keyword())
+        assert decision.flagged and decision.degraded
+        assert decision.action is PolicyAction.PROMPT
+        assert decision.applied_rule is None
+        assert not decision.transmitted
+
+    def test_block_rule_still_screens_in_degraded_mode(self):
+        # only ALLOW short-circuits: a BLOCK rule must still see the verdict
+        app = FlowControlApp.degraded()
+        app.policies.set_rule("jp.app.one", PolicyAction.BLOCK)
+        flagged = app.screen(self.leaky_keyword())
+        assert flagged.flagged and not flagged.transmitted
+        assert flagged.applied_rule == ("jp.app.one", "")
+        clean_decision = app.screen(clean())
+        assert clean_decision.transmitted and not clean_decision.flagged
+
+    def test_signature_mode_screens_before_allow_rule(self):
+        # with real signatures the screen still runs; the rule only decides
+        # the action and is recorded on the decision
+        app = FlowControlApp([signature()])
+        app.policies.set_rule("jp.app.one", PolicyAction.ALLOW)
+        decision = app.screen(leaky())
+        assert decision.flagged  # signature verdict kept in history
+        assert decision.transmitted
+        assert decision.applied_rule == ("jp.app.one", "")
+
+    def test_lookup_rule_reports_explicit_key(self):
+        app = FlowControlApp([signature()])
+        assert app.policies.lookup_rule("a", "d") == (PolicyAction.PROMPT, None)
+        app.policies.set_rule("a", PolicyAction.BLOCK)
+        assert app.policies.lookup_rule("a", "d") == (PolicyAction.BLOCK, ("a", ""))
+        app.policies.set_rule("a", PolicyAction.ALLOW, domain="d")
+        assert app.policies.lookup_rule("a", "d") == (PolicyAction.ALLOW, ("a", "d"))

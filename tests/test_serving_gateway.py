@@ -1,0 +1,262 @@
+"""The screening gateway: equivalence, shedding, backpressure, hot reload."""
+
+import pytest
+
+from repro.core.distribution import SignatureChannel
+from repro.errors import SimulationError
+from repro.serving.gateway import (
+    GatewayConfig,
+    ReloadEvent,
+    ScreeningGateway,
+    ServeOutcome,
+    ShedPolicy,
+)
+from repro.serving.loadgen import FleetLoadGenerator, LoadProfile, ScreeningEvent
+from repro.signatures.matcher import SignatureMatcher
+from tests.conftest import make_packet
+from tests.test_serving_shards import corpus_signatures
+
+
+def reload_signatures(corpus):
+    """A second, different signature set for hot-reload tests."""
+    return list(reversed(corpus_signatures(corpus, limit=18)))
+
+
+@pytest.fixture(scope="module")
+def channel(small_corpus):
+    """A channel with versions 1 and 2 published."""
+    channel = SignatureChannel()
+    channel.publish(corpus_signatures(small_corpus))
+    channel.publish(reload_signatures(small_corpus))
+    return channel
+
+
+def run_gateway(corpus, channel, *, batch_size, n_shards, seed=0, n_events=300,
+                mean_interarrival=0.5, queue_capacity=64, policy=ShedPolicy.DEGRADE,
+                reload_fraction=0.5, with_reload=True):
+    """One gateway run with a mid-stream reload; returns (gateway, results, stream)."""
+    profile = LoadProfile(mean_interarrival_ticks=mean_interarrival)
+    stream = FleetLoadGenerator(corpus, profile, seed=seed).events(n_events)
+    boot = channel.envelope(1)
+    reloads = []
+    if with_reload:
+        reloads = [ReloadEvent(tick=stream[int(len(stream) * reload_fraction)].tick,
+                               envelope=channel.envelope(2))]
+    gateway = ScreeningGateway(
+        list(boot.signatures),
+        config=GatewayConfig(
+            batch_size=batch_size,
+            n_shards=n_shards,
+            queue_capacity=queue_capacity,
+            shed_policy=policy,
+        ),
+        set_version=boot.set_version,
+    )
+    results = gateway.run(stream, reloads=reloads)
+    return gateway, results, stream
+
+
+class TestBitIdenticalDecisions:
+    """Acceptance: equivalence at >= 2 shard counts and >= 2 batch sizes."""
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    @pytest.mark.parametrize("batch_size", [1, 4, 8])
+    def test_matches_sequential_matcher(self, small_corpus, channel, n_shards, batch_size):
+        reference = {
+            version: SignatureMatcher(list(channel.envelope(version).signatures))
+            for version in (1, 2)
+        }
+        gateway, results, stream = run_gateway(
+            small_corpus, channel, batch_size=batch_size, n_shards=n_shards
+        )
+        assert len(results) == len(stream)
+        assert [r.event.seq for r in results] == [e.seq for e in stream]
+        screened = [r for r in results if r.screened]
+        assert screened, "scenario must actually screen traffic"
+        for result in screened:
+            expected = reference[result.set_version].match(result.event.packet)
+            assert expected == result.match
+        assert {r.set_version for r in screened} == {1, 2}  # reload really happened
+
+    def test_shard_count_never_changes_anything(self, small_corpus, channel):
+        # Sharding is pure partitioning: with batching and the reload held
+        # fixed, even generations and latencies are identical across counts.
+        baseline = None
+        for n_shards in (1, 2, 5):
+            __, results, __stream = run_gateway(
+                small_corpus, channel, batch_size=4, n_shards=n_shards
+            )
+            verdicts = [(r.event.seq, r.outcome, r.match, r.generation, r.completed_tick)
+                        for r in results]
+            if baseline is None:
+                baseline = verdicts
+            else:
+                assert verdicts == baseline
+
+    def test_batch_size_never_changes_verdicts(self, small_corpus, channel):
+        # Batching changes *when* packets are screened (and hence how a
+        # reload lands), so compare pure verdicts on a fixed signature set.
+        # arrivals slower than batch_size=1's worst-case cost, so nothing sheds
+        baseline = None
+        for batch_size in (1, 4, 8):
+            __, results, __stream = run_gateway(
+                small_corpus, channel, batch_size=batch_size, n_shards=2,
+                with_reload=False, mean_interarrival=2.0,
+            )
+            assert all(r.screened for r in results)
+            verdicts = [(r.event.seq, r.outcome, r.match) for r in results if r.screened]
+            if baseline is None:
+                baseline = verdicts
+            else:
+                assert verdicts == baseline
+
+
+class TestSheddingAndBackpressure:
+    def overload(self, corpus, channel, policy):
+        return run_gateway(
+            corpus, channel,
+            batch_size=4, n_shards=2, queue_capacity=4,
+            mean_interarrival=0.05, n_events=400, policy=policy,
+        )
+
+    def test_overload_sheds(self, small_corpus, channel):
+        gateway, results, __ = self.overload(small_corpus, channel, ShedPolicy.DEGRADE)
+        shed = [r for r in results if not r.screened]
+        assert shed
+        assert gateway.telemetry.counters["shed"] == len(shed)
+        assert gateway.telemetry.counters["admitted"] == len(results) - len(shed)
+
+    def test_degrade_policy_uses_keyword_fallback(self, small_corpus, channel):
+        __, results, __stream = self.overload(small_corpus, channel, ShedPolicy.DEGRADE)
+        shed_outcomes = {r.outcome for r in results if not r.screened}
+        assert shed_outcomes <= {
+            ServeOutcome.SHED_DEGRADED_CLEAN, ServeOutcome.SHED_DEGRADED_FLAGGED
+        }
+        assert ServeOutcome.SHED_DEGRADED_FLAGGED in shed_outcomes  # corpus leaks identifiers
+
+    def test_drop_policy_marks_unscreened(self, small_corpus, channel):
+        __, results, __stream = self.overload(small_corpus, channel, ShedPolicy.DROP)
+        shed = [r for r in results if not r.screened]
+        assert shed and all(r.outcome is ServeOutcome.SHED_DROPPED for r in shed)
+        assert all(r.batch_id == -1 and r.latency_ticks == 0.0 for r in shed)
+
+    def test_batches_respect_size_bound(self, small_corpus, channel):
+        gateway, __, __stream = self.overload(small_corpus, channel, ShedPolicy.DEGRADE)
+        sizes = [span["size"] for span in gateway.telemetry.spans_of("batch")]
+        assert sizes and max(sizes) <= 4
+        # under sustained overload the queue keeps batches full
+        assert sizes.count(4) > len(sizes) // 2
+
+    def test_latency_grows_under_load(self, small_corpus, channel):
+        __, calm, __a = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2, mean_interarrival=2.0
+        )
+        # same arrivals, 10x the rate, deep queue: waiting dominates
+        __, hot, __b = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.2, queue_capacity=256,
+        )
+        mean = lambda rs: sum(r.latency_ticks for r in rs) / len(rs)  # noqa: E731
+        calm_screened = [r for r in calm if r.screened]
+        hot_screened = [r for r in hot if r.screened]
+        assert mean(hot_screened) > 2 * mean(calm_screened)
+
+
+class TestHotReload:
+    def test_generation_swap_mid_stream(self, small_corpus, channel):
+        gateway, results, __ = run_gateway(
+            small_corpus, channel, batch_size=8, n_shards=2
+        )
+        assert gateway.generation == 2 and gateway.set_version == 2
+        generations = {r.generation for r in results}
+        assert generations == {1, 2}
+
+    def test_stale_reload_rejected(self, small_corpus, channel):
+        boot = channel.envelope(2)
+        gateway = ScreeningGateway(list(boot.signatures), set_version=boot.set_version)
+        stream = FleetLoadGenerator(small_corpus, seed=1).events(40)
+        stale = [ReloadEvent(tick=stream[10].tick, envelope=channel.envelope(1))]
+        gateway.run(stream, reloads=stale)
+        assert gateway.set_version == 2 and gateway.generation == 1
+        assert gateway.telemetry.counters["reloads_rejected"] == 1
+        assert gateway.telemetry.counters.get("reloads_applied", 0) == 0
+
+    def test_reload_after_last_batch_still_applies(self, small_corpus, channel):
+        boot = channel.envelope(1)
+        gateway = ScreeningGateway(list(boot.signatures), set_version=1)
+        stream = FleetLoadGenerator(small_corpus, seed=2).events(20)
+        late = [ReloadEvent(tick=stream[-1].tick + 1000.0, envelope=channel.envelope(2))]
+        results = gateway.run(stream, reloads=late)
+        assert all(r.generation == 1 for r in results)
+        assert gateway.set_version == 2  # ready for the next run()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6])
+    def test_property_no_batch_mixes_generations_and_no_regression(
+        self, small_corpus, channel, seed
+    ):
+        """Satellite: mid-stream update_signatures never mixes generations
+        within one batch and never regresses to an older version."""
+        gateway, results, stream = run_gateway(
+            small_corpus, channel,
+            batch_size=5, n_shards=3, seed=seed,
+            mean_interarrival=0.2, queue_capacity=16,
+            reload_fraction=0.25 + 0.1 * (seed % 5),
+        )
+        # every batch carries exactly one generation, for spans and results
+        by_batch = {}
+        for result in results:
+            if result.batch_id >= 0:
+                by_batch.setdefault(result.batch_id, set()).add(
+                    (result.generation, result.set_version)
+                )
+        assert by_batch and all(len(gens) == 1 for gens in by_batch.values())
+        spans = gateway.telemetry.spans_of("batch")
+        assert all(len({s["generation"] for s in spans if s["batch_id"] == b}) == 1
+                   for b in by_batch)
+        # generations never decrease in dispatch order, and versions track them
+        ordered = sorted(spans, key=lambda s: s["started"])
+        generations = [s["generation"] for s in ordered]
+        versions = [s["set_version"] for s in ordered]
+        assert generations == sorted(generations)
+        assert versions == sorted(versions)
+        # batches dispatched before an applied reload keep the old generation
+        for reload_span in gateway.telemetry.spans_of("reload"):
+            for span in ordered:
+                if span["started"] < reload_span["tick"]:
+                    assert span["generation"] < reload_span["generation"]
+                else:
+                    assert span["generation"] >= reload_span["generation"]
+
+
+class TestValidationAndTelemetry:
+    def test_rejects_unordered_stream(self, small_corpus, channel):
+        stream = FleetLoadGenerator(small_corpus, seed=0).events(10)
+        shuffled = [stream[1], stream[0], *stream[2:]]
+        gateway = ScreeningGateway(list(channel.envelope(1).signatures))
+        with pytest.raises(SimulationError):
+            gateway.run(shuffled)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(SimulationError):
+            GatewayConfig(queue_capacity=0)
+        with pytest.raises(SimulationError):
+            GatewayConfig(batch_size=0)
+        with pytest.raises(SimulationError):
+            GatewayConfig(per_packet_ticks=-1.0)
+
+    def test_decision_counters_sum_to_events(self, small_corpus, channel):
+        gateway, results, stream = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.1, queue_capacity=8,
+        )
+        counters = gateway.telemetry.counters
+        decisions = sum(v for k, v in counters.items() if k.startswith("decisions_"))
+        assert decisions == len(stream) == len(results)
+        assert counters["admitted"] + counters["shed"] == len(stream)
+
+    def test_single_packet_stream(self, channel):
+        packet = make_packet(target="/p?x=1")
+        event = ScreeningEvent(seq=0, tick=0.0, device_id="d", packet=packet)
+        gateway = ScreeningGateway(list(channel.envelope(1).signatures))
+        results = gateway.run([event])
+        assert len(results) == 1 and results[0].screened

@@ -1,0 +1,92 @@
+"""Serving telemetry: histograms, counters, spans, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.serving.telemetry import Histogram, ServingTelemetry
+
+
+class TestHistogram:
+    def test_bucketing_and_moments(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.counts == [1, 1, 1, 1]
+        assert h.min_value == 0.5 and h.max_value == 8.0
+        assert h.mean == pytest.approx(3.25)
+
+    def test_percentiles_are_bucket_upper_edges(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in [0.5] * 50 + [1.5] * 40 + [3.0] * 9 + [5.0]:
+            h.observe(value)
+        assert h.percentile(0.50) == 1.0
+        assert h.percentile(0.90) == 2.0
+        assert h.percentile(0.99) == 4.0
+        assert h.percentile(1.00) == 5.0  # clamped to observed max
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(123.0)
+        assert h.percentile(0.99) == 123.0
+
+    def test_empty_histogram(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        assert h.percentile(0.99) == 0.0
+        assert h.mean == 0.0
+        assert h.to_dict()["count"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        h = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_to_dict_shape(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(0.5)
+        d = h.to_dict()
+        assert d["buckets"] == {"1.0": 1, "2.0": 0, "+inf": 0}
+        assert d["p50"] == 0.5  # bucket edge clamped to observed max
+
+
+class TestTelemetry:
+    def test_counters_monotonic(self):
+        t = ServingTelemetry()
+        t.increment("admitted")
+        t.increment("admitted", 4)
+        assert t.counters["admitted"] == 5
+        with pytest.raises(ValueError):
+            t.increment("admitted", -1)
+
+    def test_spans_of_filters_by_kind(self):
+        t = ServingTelemetry()
+        t.span("batch", batch_id=0)
+        t.span("reload", generation=2)
+        t.span("batch", batch_id=1)
+        assert [s["batch_id"] for s in t.spans_of("batch")] == [0, 1]
+        assert t.spans_of("reload")[0]["generation"] == 2
+
+    def test_snapshot_is_json_serializable(self):
+        t = ServingTelemetry()
+        t.increment("batches")
+        t.observe("latency_ticks", 3.0)
+        snapshot = t.snapshot()
+        text = json.dumps(snapshot)
+        assert "latency_ticks" in text
+        assert snapshot["counters"] == {"batches": 1}
+        assert snapshot["histograms"]["latency_ticks"]["count"] == 1
+
+    def test_export_jsonl_roundtrip(self, tmp_path):
+        t = ServingTelemetry()
+        t.span("batch", batch_id=0, size=3)
+        t.observe("queue_depth", 2)
+        path = t.export_jsonl(tmp_path / "spans.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"kind": "batch", "batch_id": 0, "size": 3}
+        assert lines[-1]["kind"] == "summary"
+        assert lines[-1]["histograms"]["queue_depth"]["count"] == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.signatures.conjunction import ConjunctionSignature
-from repro.signatures.matcher import ProbabilisticMatcher, SignatureMatcher
+from repro.signatures.matcher import MatchResult, ProbabilisticMatcher, SignatureMatcher
 from tests.conftest import make_packet
 
 
@@ -96,3 +96,61 @@ class TestProbabilisticMatcher:
         matcher = ProbabilisticMatcher([weak, strong], threshold=0.4)
         result = matcher.match(make_packet(target="/p?alpha=1&beta=2"))
         assert result.signature is strong
+
+
+class TestLiteralPrefilter:
+    """The inverted literal index narrows candidates without changing verdicts."""
+
+    def corpus_packets(self, small_corpus):
+        return small_corpus.trace.packets[:300]
+
+    def reference_match(self, matcher, packet):
+        """The pre-index behaviour: full scan of every scope-admitted signature."""
+        text = packet.canonical_text()
+        for signature in matcher.candidates_for(packet):
+            if signature.matches_text(text):
+                return MatchResult(matched=True, signature=signature, score=1.0)
+        return MatchResult(matched=False)
+
+    def test_equivalent_to_full_scan_over_corpus(self, small_corpus):
+        from tests.test_serving_shards import corpus_signatures
+
+        matcher = SignatureMatcher(corpus_signatures(small_corpus))
+        hits = 0
+        for packet in self.corpus_packets(small_corpus):
+            expected = self.reference_match(matcher, packet)
+            assert matcher.match(packet) == expected
+            hits += expected.matched
+        assert hits > 0  # the equivalence run saw real matches
+
+    def test_prefilter_is_pure_narrowing(self):
+        matcher = SignatureMatcher(
+            [sig("udid=abc"), sig("absent-token"), sig("udid=abc", scope="admob.com")]
+        )
+        p = make_packet(host="r.admob.com", target="/p?udid=abc")
+        text = p.canonical_text()
+        narrowed = matcher.candidates_for(p, text)
+        assert set(map(id, narrowed)) <= set(map(id, matcher.candidates_for(p)))
+        # every actually-matching signature survives the prefilter
+        for signature in matcher.candidates_for(p):
+            if signature.matches_text(text):
+                assert signature in narrowed
+
+    def test_prefilter_drops_absent_literals(self):
+        matcher = SignatureMatcher([sig("udid=abc"), sig("never-present")])
+        p = make_packet(target="/p?udid=abc")
+        narrowed = matcher.candidates_for(p, p.canonical_text())
+        assert [s.tokens for s in narrowed] == [("udid=abc",)]
+
+    def test_inverted_index_shape(self):
+        short_long = sig("ab", "longest-literal")
+        other = sig("longest-literal")
+        matcher = SignatureMatcher([short_long, other])
+        assert matcher.by_literal["longest-literal"] == [short_long, other]
+
+    def test_probabilistic_matcher_sees_all_candidates(self):
+        # Partial-coverage scoring must not be prefiltered: here the longest
+        # token is absent but the threshold is met by the other token.
+        signatures = [sig("alpha=1", "longest-token-absent")]
+        matcher = ProbabilisticMatcher(signatures, threshold=0.2)
+        assert matcher.match(make_packet(target="/p?alpha=1")).matched
