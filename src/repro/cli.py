@@ -18,6 +18,13 @@
     repro chaos   --apps 80 --seed 0 --rates 0,0.1,0.25,0.5
     repro bench   --apps 300 --sample 200 --workers 4 --out BENCH_perf.json
     repro serve   --apps 120 --events 4000 --shards 4 --out BENCH_serving.json
+    repro trace   --apps 60 --sample 40 --seed 0 --out trace_out
+    repro metrics --apps 60 --events 1200 --seed 0 --out metrics_out
+
+``bench``, ``serve``, ``chaos``, ``trace``, and ``metrics`` accept
+``--json`` to print their report as stable JSON instead of the table
+(exit codes unchanged — ``bench``/``serve`` still exit nonzero on a
+budget violation).
 
 Trace paths ending in ``.gz`` are read/written gzip-compressed.
 Every command is pure computation over files — no network, no device.
@@ -44,6 +51,27 @@ from repro.simulation.corpus import build_corpus
 
 def _load_identity(path: str) -> DeviceIdentity:
     return DeviceIdentity.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def emit_report(args: argparse.Namespace, text: str, payload: dict) -> None:
+    """Print one report, honouring the subcommand's ``--json`` flag.
+
+    Every reporting subcommand routes through here so the machine-readable
+    path is uniform: ``--json`` prints the payload as stable (sorted-key,
+    2-space-indented) JSON on stdout and suppresses the human rendering;
+    exit codes are unaffected either way.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
+def add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON on stdout instead of the table",
+    )
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
@@ -198,7 +226,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.eval.chaos import render_chaos, run_chaos_sweep
+    from repro.eval.chaos import chaos_report, render_chaos, run_chaos_sweep
 
     try:
         rates = [float(r) for r in args.rates.split(",") if r.strip()]
@@ -217,7 +245,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_devices=args.devices,
         seed=args.seed,
     )
-    print(render_chaos(points))
+    emit_report(args, render_chaos(points), chaos_report(points))
     return 0
 
 
@@ -247,10 +275,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         screen_packets=screen,
         budget=budget,
     )
-    print(report.render())
+    emit_report(args, report.render(), report.to_dict())
     if args.out:
         report.save(args.out)
-        print(f"wrote {args.out}")
+        if not args.json:
+            print(f"wrote {args.out}")
     return 0 if report.ok else 1
 
 
@@ -278,13 +307,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
         budget=ServingBudget(),
         telemetry_dir=args.telemetry or None,
     )
-    print(report.render())
+    emit_report(args, report.render(), report.to_dict())
     if args.out:
         report.save(args.out)
-        print(f"wrote {args.out}")
-    if args.telemetry:
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.telemetry and not args.json:
         print(f"wrote telemetry JSONL under {args.telemetry}/")
     return 0 if report.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.scenarios import run_traced_pipeline
+
+    artifacts = run_traced_pipeline(
+        n_apps=args.apps,
+        sample=args.sample,
+        seed=args.seed,
+        workers=args.workers,
+        out_dir=args.out,
+    )
+    lines = [artifacts.profile.render(), ""]
+    lines.extend(
+        f"wrote {artifacts.paths[key]}" for key in ("spans", "chrome", "metrics", "stages")
+    )
+    lines.append("open trace.json in chrome://tracing or https://ui.perfetto.dev")
+    payload = dict(artifacts.summary)
+    payload["artifacts"] = {key: str(path) for key, path in sorted(artifacts.paths.items())}
+    payload["stages"] = artifacts.profile.to_dict()
+    emit_report(args, "\n".join(lines), payload)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.scenarios import run_traced_serving
+
+    artifacts = run_traced_serving(
+        n_apps=args.apps,
+        events=args.events,
+        sample=args.sample,
+        seed=args.seed,
+        out_dir=args.out,
+    )
+    metrics = artifacts.obs.metrics
+    lines = [
+        f"Serving metrics — run {artifacts.summary['run_id']}",
+        f"  events={artifacts.summary['events']} "
+        f"screened={artifacts.summary['screened']} shed={artifacts.summary['shed']}",
+        f"  {'counter':<32} {'value':>10}",
+    ]
+    lines.extend(
+        f"  {name:<32} {count:>10d}" for name, count in sorted(metrics.counters.items())
+    )
+    lines.append("")
+    lines.extend(f"wrote {path}" for __, path in sorted(artifacts.paths.items()))
+    payload = dict(artifacts.summary)
+    payload["artifacts"] = {key: str(path) for key, path in sorted(artifacts.paths.items())}
+    payload["gauges"] = dict(sorted(metrics.gauges.items()))
+    emit_report(args, "\n".join(lines), payload)
+    return 0
 
 
 def cmd_fig4(args: argparse.Namespace) -> int:
@@ -384,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-engine-speedup", type=float, default=1.5,
                    help="required engine-vs-naive serial speedup")
     p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -401,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true", help="smoke scale for CI")
     p.add_argument("--telemetry", default="", help="directory for span-log JSONL export")
     p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("chaos", help="sweep distribution-channel fault rates")
@@ -410,7 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--devices", type=int, default=6)
     p.add_argument("--rates", default="0,0.1,0.25,0.5",
                    help="comma-separated total fault rates in [0,1)")
+    add_json_flag(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented pipeline; export spans, Chrome trace, metrics",
+    )
+    p.add_argument("--apps", type=int, default=60)
+    p.add_argument("--sample", type=int, default=40, help="M packets to cluster")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="distance-engine processes (0 = one per CPU)")
+    p.add_argument("--out", default="trace_out", help="artifact directory")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented serving scenario; export the metrics registry",
+    )
+    p.add_argument("--apps", type=int, default=60)
+    p.add_argument("--events", type=int, default=1200, help="gateway arrivals")
+    p.add_argument("--sample", type=int, default=40, help="M packets per signature set")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="metrics_out", help="artifact directory")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 

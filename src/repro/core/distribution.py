@@ -30,9 +30,10 @@ and time is a logical tick counter (DESIGN.md §6).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DistributionError, SignatureStoreError
+from repro.obs.metrics import Metrics
 from repro.reliability.faults import FaultKind, FaultPlan
 from repro.reliability.retry import BreakerState, CircuitBreaker, RetryPolicy
 from repro.signatures.conjunction import ConjunctionSignature
@@ -45,17 +46,29 @@ class SignatureChannel:
 
     :param fault_plan: the channel's failure behaviour; ``None`` for a
         perfect channel (the pre-reliability in-memory handoff).
+    :param metrics: optional shared registry; the channel then counts
+        publishes, transmissions, and per-fault-kind outcomes.
     """
 
-    def __init__(self, fault_plan: FaultPlan | None = None) -> None:
+    def __init__(
+        self, fault_plan: FaultPlan | None = None, metrics: Metrics | None = None
+    ) -> None:
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self._envelopes: list[str] = []  # serialized; index + 1 == set_version
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, by)
 
     def publish(self, signatures: list[ConjunctionSignature]) -> SignatureEnvelope:
         """Wrap and retain a new signature-set version for distribution."""
         set_version = len(self._envelopes) + 1
         document = SignatureStore.dumps_envelope(signatures, set_version)
         self._envelopes.append(document)
+        self._inc("channel_publishes")
+        if self.metrics is not None:
+            self.metrics.set_gauge("channel_latest_version", set_version)
         return SignatureStore.loads_envelope(document)
 
     @property
@@ -89,10 +102,13 @@ class SignatureChannel:
         """
         if not self._envelopes:
             raise DistributionError("nothing published on this channel yet")
+        self._inc("channel_transmits")
         payload = self._envelopes[-1].encode("utf-8")
         if self.fault_plan is None:
             return payload, FaultKind.NONE, 0.0
         outcome = self.fault_plan.apply(payload, *labels)
+        if outcome.kind is not FaultKind.NONE:
+            self._inc(f"channel_fault_{outcome.kind.value}")
         if outcome.kind is FaultKind.STALE and len(self._envelopes) > 1:
             # A misbehaving cache serves the previous version, intact.
             return self._envelopes[-2].encode("utf-8"), outcome.kind, outcome.delay_ticks
@@ -167,6 +183,9 @@ class SignatureFetcher:
         open, sessions fail fast without consuming channel attempts.
     :param seed: determinism root for backoff jitter.
     :param device_id: label isolating this device's fault/jitter streams.
+    :param metrics: optional shared registry mirroring
+        :class:`ChannelHealth` as monotonic counters (sessions, attempts,
+        retries, per-status outcomes) for the Prometheus exposition.
     """
 
     def __init__(
@@ -176,15 +195,21 @@ class SignatureFetcher:
         breaker: CircuitBreaker | None = None,
         seed: int = 0,
         device_id: str = "device",
+        metrics: Metrics | None = None,
     ) -> None:
         self.channel = channel
         self.retry = retry or RetryPolicy()
         self.breaker = breaker
         self.seed = seed
         self.device_id = device_id
+        self.metrics = metrics
         self.health = ChannelHealth()
         self.clock = 0.0  # logical ticks; advanced per attempt + backoff
         self._last_good: tuple[int, tuple[ConjunctionSignature, ...]] | None = None
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, by)
 
     @property
     def last_good(self) -> tuple[ConjunctionSignature, ...] | None:
@@ -198,6 +223,7 @@ class SignatureFetcher:
         the returned :class:`FetchResult` so the device keeps screening.
         """
         self.health.fetches += 1
+        self._inc("fetch_sessions")
         session = self.health.fetches
         rng = derive_rng(self.seed, "fetch", self.device_id, str(session))
         attempts = 0
@@ -205,7 +231,10 @@ class SignatureFetcher:
             self.clock += 1.0
             if self.breaker is not None and not self.breaker.allow(self.clock):
                 self.health.breaker_rejections += 1
+                self._inc("fetch_breaker_rejections")
                 break
+            if attempt > 0:
+                self._inc("fetch_retries")
             envelope = self._attempt(attempts)
             attempts += 1
             if envelope is not None:
@@ -215,6 +244,11 @@ class SignatureFetcher:
                 self.health.successes += 1
                 self.health.last_good_version = envelope.set_version
                 self._note_breaker_state()
+                self._inc("fetch_fresh")
+                if self.metrics is not None:
+                    self.metrics.set_gauge(
+                        "fetch_last_good_version", envelope.set_version
+                    )
                 return FetchResult(
                     status=FetchStatus.FRESH,
                     signatures=envelope.signatures,
@@ -228,6 +262,7 @@ class SignatureFetcher:
         self._note_breaker_state()
         if self._last_good is not None:
             self.health.fallbacks += 1
+            self._inc("fetch_cached")
             version, signatures = self._last_good
             return FetchResult(
                 status=FetchStatus.CACHED,
@@ -236,6 +271,7 @@ class SignatureFetcher:
                 attempts=attempts,
             )
         self.health.degraded_sessions += 1
+        self._inc("fetch_degraded")
         return FetchResult(
             status=FetchStatus.DEGRADED, signatures=(), set_version=0, attempts=attempts
         )
@@ -256,25 +292,30 @@ class SignatureFetcher:
     def _attempt(self, attempt_index: int) -> SignatureEnvelope | None:
         """One transmission + verification; ``None`` on any failure."""
         self.health.attempts += 1
+        self._inc("fetch_attempts")
         try:
             payload, kind, delay = self.channel.transmit(self.device_id, str(attempt_index))
         except DistributionError:
             self.health.drops += 1
+            self._inc("fetch_drops")
             return None
         self.clock += delay
         self.health.delay_ticks += delay
         if payload is None:
             self.health.drops += 1
+            self._inc("fetch_drops")
             return None
         try:
             envelope = SignatureStore.loads_envelope(payload.decode("utf-8", errors="replace"))
         except SignatureStoreError:
             self.health.integrity_failures += 1
+            self._inc("fetch_integrity_failures")
             return None
         if self._last_good is not None and envelope.set_version < self._last_good[0]:
             # A cache served an older version than we already verified:
             # never regress the installed set.
             self.health.stale_reads += 1
+            self._inc("fetch_stale_reads")
             return None
         return envelope
 

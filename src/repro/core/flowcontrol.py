@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.http.packet import HttpPacket
+from repro.obs.metrics import Metrics
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.matcher import SignatureMatcher
 from repro.signatures.store import SignatureStore
@@ -106,6 +107,10 @@ class FlowControlApp:
         screening falls back to this detector and decisions carry
         ``degraded=True``.  Without one, an empty set screens nothing
         (every packet transmits unflagged), as before.
+    :param metrics: optional shared registry; the app then counts
+        decisions (total/flagged/degraded/blocked/prompts) and signature
+        installs, and gauges the live set size and version.  Decisions
+        are bit-identical with or without it.
     """
 
     def __init__(
@@ -113,13 +118,19 @@ class FlowControlApp:
         signatures: list[ConjunctionSignature],
         prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
         degraded_detector: object | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.matcher = SignatureMatcher(signatures)
         self.policies = PolicyStore()
         self.prompt_handler = prompt_handler or (lambda packet, signature: False)
         self.degraded_detector = degraded_detector
+        self.metrics = metrics
         self.signature_version = 0
         self.history: list[Decision] = []
+
+    def _inc(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, by)
 
     @classmethod
     def fetch(
@@ -135,6 +146,7 @@ class FlowControlApp:
         cls,
         prompt_handler: Callable[[HttpPacket, ConjunctionSignature], bool] | None = None,
         mode: str = "conservative",
+        metrics: Metrics | None = None,
     ) -> "FlowControlApp":
         """A fresh install with no signatures yet: keyword fallback armed.
 
@@ -146,7 +158,9 @@ class FlowControlApp:
         """
         from repro.baselines.keyword import KeywordDetector
 
-        return cls([], prompt_handler, degraded_detector=KeywordDetector(mode))
+        return cls(
+            [], prompt_handler, degraded_detector=KeywordDetector(mode), metrics=metrics
+        )
 
     @property
     def is_degraded(self) -> bool:
@@ -163,9 +177,14 @@ class FlowControlApp:
         keeps screening.
         """
         if not signatures and version == 0 and len(self.matcher) > 0:
+            self._inc("flow_updates_ignored")
             return
         self.matcher = SignatureMatcher(signatures)
         self.signature_version = version
+        self._inc("flow_updates")
+        if self.metrics is not None:
+            self.metrics.set_gauge("flow_signature_version", version)
+            self.metrics.set_gauge("flow_signatures_live", len(self.matcher))
 
     def screen(self, packet: HttpPacket) -> Decision:
         """Screen one outgoing packet and record the decision.
@@ -195,8 +214,7 @@ class FlowControlApp:
                     degraded=True,
                     applied_rule=rule,
                 )
-                self.history.append(decision)
-                return decision
+                return self._finish(decision)
             flagged = bool(self.degraded_detector.is_sensitive(packet))
             signature = None
         else:
@@ -228,7 +246,20 @@ class FlowControlApp:
                 degraded=degraded,
                 applied_rule=rule,
             )
+        return self._finish(decision)
+
+    def _finish(self, decision: Decision) -> Decision:
+        """Record one decision in history and in the metrics registry."""
         self.history.append(decision)
+        self._inc("flow_decisions")
+        if decision.flagged:
+            self._inc("flow_flagged")
+        if decision.degraded:
+            self._inc("flow_degraded_decisions")
+        if not decision.transmitted:
+            self._inc("flow_blocked")
+        if decision.flagged and decision.action is PolicyAction.PROMPT:
+            self._inc("flow_prompts")
         return decision
 
     def blocked(self) -> list[Decision]:

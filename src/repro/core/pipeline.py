@@ -15,6 +15,7 @@ from repro.core.server import ServerConfig, SignatureServer
 from repro.dataset.trace import Trace
 from repro.distance.packet import PacketDistance
 from repro.eval.metrics import DetectionMetrics, compute_metrics
+from repro.obs import NULL_OBS, Observability
 from repro.sensitive.payload_check import PayloadCheck
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.generator import GeneratorConfig
@@ -50,6 +51,11 @@ class DetectionPipeline:
     :param trace: the full captured dataset.
     :param payload_check: ground-truth labeler for the capture device.
     :param config: policy knobs (defaults reproduce the paper).
+    :param obs: optional observability bundle.  When given, ingest emits
+        ``collect`` and ``payload_check`` spans and each :meth:`run` emits
+        a ``pipeline_run`` root with one child span per stage
+        (sample/distance_matrix/linkage/cut/signature_gen/eval).  The
+        :class:`PipelineResult` is bit-identical with or without it.
     """
 
     def __init__(
@@ -57,10 +63,12 @@ class DetectionPipeline:
         trace: Trace,
         payload_check: PayloadCheck,
         config: PipelineConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.trace = trace
         self.payload_check = payload_check
         self.config = config or PipelineConfig()
+        self.obs = obs or NULL_OBS
         self.server = SignatureServer(
             payload_check,
             distance=self.config.distance,
@@ -69,8 +77,15 @@ class DetectionPipeline:
                 generator=self.config.generator,
                 workers=self.config.workers,
             ),
+            obs=self.obs,
         )
-        self.server.ingest(trace)
+        with self.obs.span("pipeline_ingest", track="pipeline"):
+            with self.obs.span("collect", track="pipeline", n_packets=len(trace)):
+                self.obs.advance(len(trace))
+            with self.obs.span("payload_check", track="pipeline") as check_span:
+                counts = self.server.ingest(trace)
+                if check_span is not None:
+                    check_span.attrs["n_suspicious"], check_span.attrs["n_normal"] = counts
 
     @property
     def n_suspicious(self) -> int:
@@ -82,15 +97,22 @@ class DetectionPipeline:
 
     def run(self, n_sample: int, seed: int = 0) -> PipelineResult:
         """Generate from an ``n_sample`` and evaluate on the full dataset."""
-        generation = self.server.generate(n_sample, seed=seed)
-        matcher = SignatureMatcher(generation.signatures)
-        metrics = compute_metrics(
-            matcher=matcher,
-            suspicious=self.server.suspicious,
-            normal=self.server.normal,
-            n_sample=len(generation.sample),
-            training_sample=generation.sample,
-        )
+        with self.obs.span("pipeline_run", track="pipeline", n_sample=n_sample, seed=seed):
+            generation = self.server.generate(n_sample, seed=seed)
+            with self.obs.span("eval", track="pipeline") as eval_span:
+                matcher = SignatureMatcher(generation.signatures)
+                metrics = compute_metrics(
+                    matcher=matcher,
+                    suspicious=self.server.suspicious,
+                    normal=self.server.normal,
+                    n_sample=len(generation.sample),
+                    training_sample=generation.sample,
+                )
+                self.obs.advance(len(self.server.suspicious) + len(self.server.normal))
+                if eval_span is not None:
+                    eval_span.attrs["tp_percent"] = metrics.tp_percent
+                    eval_span.attrs["fp_percent"] = metrics.fp_percent
+        self.obs.inc("pipeline_runs")
         return PipelineResult(
             n_sample=len(generation.sample),
             signatures=generation.signatures,

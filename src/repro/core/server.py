@@ -20,6 +20,7 @@ from repro.distance.engine import DistanceEngine
 from repro.distance.packet import PacketDistance
 from repro.errors import ReproError, SignatureError
 from repro.http.packet import HttpPacket
+from repro.obs import NULL_OBS, Observability
 from repro.reliability.quarantine import Quarantine
 from repro.sensitive.payload_check import PayloadCheck
 from repro.signatures.conjunction import ConjunctionSignature
@@ -59,6 +60,10 @@ class SignatureServer:
         capture device's identifiers — Section IV-A's "payload check").
     :param distance: the packet metric (defaults to the paper's d_pkt).
     :param config: clustering/generation policy.
+    :param obs: optional observability bundle; the server then emits one
+        span per generation stage (sample, distance_matrix, linkage, cut,
+        signature_gen) plus ingest counters and a quarantine-depth gauge.
+        Outputs are bit-identical with or without it.
     """
 
     def __init__(
@@ -67,11 +72,13 @@ class SignatureServer:
         distance: PacketDistance | None = None,
         config: ServerConfig | None = None,
         quarantine_capacity: int = 256,
+        obs: Observability | None = None,
     ) -> None:
         self.payload_check = payload_check
         self.distance = distance or PacketDistance.paper()
         self.config = config or ServerConfig()
-        self.engine = DistanceEngine(self.distance, workers=self.config.workers)
+        self.obs = obs or NULL_OBS
+        self.engine = DistanceEngine(self.distance, workers=self.config.workers, obs=self.obs)
         self.quarantine = Quarantine(capacity=quarantine_capacity)
         self._suspicious: list[HttpPacket] = []
         self._normal: list[HttpPacket] = []
@@ -89,6 +96,10 @@ class SignatureServer:
         suspicious, normal = self.payload_check.split(trace, quarantine=self.quarantine)
         self._suspicious.extend(suspicious)
         self._normal.extend(normal)
+        self.obs.advance(len(suspicious) + len(normal))
+        self.obs.inc("server_ingested_suspicious", len(suspicious))
+        self.obs.inc("server_ingested_normal", len(normal))
+        self.obs.set_gauge("server_quarantine_depth", len(self.quarantine))
         return len(suspicious), len(normal)
 
     def ingest_raw(self, records: Iterable[dict[str, Any]]) -> tuple[int, int]:
@@ -133,10 +144,23 @@ class SignatureServer:
         if n_sample <= 0:
             raise SignatureError(f"sample size must be positive, got {n_sample}")
         n_sample = min(n_sample, len(self._suspicious))
-        sample = sample_packets(self._suspicious, n_sample, seed=seed)
+        with self.obs.span("sample", track="pipeline", n_sample=n_sample, seed=seed):
+            sample = sample_packets(self._suspicious, n_sample, seed=seed)
+            self.obs.advance(len(sample))
         dendrogram = self.cluster(sample)
         generator = SignatureGenerator(self.config.generator)
-        signatures = generator.from_dendrogram(dendrogram, sample)
+        with self.obs.span("cut", track="pipeline") as cut_span:
+            clusters = generator.clusters_from_dendrogram(dendrogram, sample)
+            self.obs.advance(len(clusters))
+            if cut_span is not None:
+                cut_span.attrs["n_clusters"] = len(clusters)
+        with self.obs.span("signature_gen", track="pipeline") as gen_span:
+            signatures = generator.from_clusters(clusters)
+            self.obs.advance(sum(len(cluster) for cluster in clusters))
+            if gen_span is not None:
+                gen_span.attrs["n_signatures"] = len(signatures)
+        self.obs.inc("server_generations")
+        self.obs.inc("server_signatures_generated", len(signatures))
         return GenerationResult(sample=sample, dendrogram=dendrogram, signatures=signatures)
 
     def cluster(self, packets: list[HttpPacket]) -> Dendrogram:
@@ -145,8 +169,15 @@ class SignatureServer:
         The pairwise matrix is built by the distance engine — cached and,
         when ``config.workers`` allows, computed across a process pool.
         """
-        matrix = self.engine.matrix(packets)
-        return agglomerate(matrix, self.config.linkage)
+        n = len(packets)
+        with self.obs.span(
+            "distance_matrix", track="pipeline", n_items=n, n_pairs=n * (n - 1) // 2
+        ):
+            matrix = self.engine.matrix(packets)
+        with self.obs.span("linkage", track="pipeline", n_items=n):
+            dendrogram = agglomerate(matrix, self.config.linkage)
+            self.obs.advance(max(0, n - 1))
+        return dendrogram
 
     # -- publication -----------------------------------------------------------------
 

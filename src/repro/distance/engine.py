@@ -53,6 +53,7 @@ from repro.distance.matrix import CondensedMatrix
 from repro.distance.ncd import CacheStats, NcdCalculator
 from repro.distance.packet import PacketDistance
 from repro.errors import DistanceError
+from repro.obs import NULL_OBS, Observability
 
 #: Condensed-index pairs per pool task.  Small enough to load-balance a
 #: handful of workers, large enough that per-task IPC is negligible.
@@ -293,6 +294,12 @@ class DistanceEngine:
         the right setting for tests and small M; ``0`` means "one per
         CPU".  Results are bit-identical for every worker count.
     :param chunk_pairs: condensed-index pairs per pool task.
+    :param obs: optional observability bundle.  The engine emits one
+        ``engine_chunk`` span per pool task (ticks advanced by pairs
+        evaluated) and surfaces :class:`CacheStats` deltas as monotonic
+        counters.  The bundle never crosses the process boundary — worker
+        state is pickled before it is consulted — and computed values are
+        bit-identical with or without it.
     """
 
     def __init__(
@@ -301,6 +308,7 @@ class DistanceEngine:
         *,
         workers: int = 1,
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+        obs: Observability | None = None,
     ) -> None:
         if workers < 0:
             raise DistanceError(f"workers must be >= 0, got {workers}")
@@ -309,6 +317,7 @@ class DistanceEngine:
         self.metric = metric if metric is not None else PacketDistance.paper()
         self.workers = workers or (os.cpu_count() or 1)
         self.chunk_pairs = chunk_pairs
+        self.obs = obs or NULL_OBS
         self.stats = EngineStats()
 
     # -- public API ---------------------------------------------------------------
@@ -388,6 +397,7 @@ class DistanceEngine:
             self.stats = EngineStats(mode="packet")
             evaluator = _PacketEvaluator(self.metric, items)
             self.stats.singles.precomputed = evaluator.ncd.stats.precomputed
+            self.obs.inc("engine_singles_precomputed", evaluator.ncd.stats.precomputed)
             return evaluator
         self.stats = EngineStats(mode="generic")
         return _GenericEvaluator(self.metric, items)
@@ -426,8 +436,12 @@ class DistanceEngine:
             if rows is None:
                 rows, cols = np.triu_indices(n_full, k=1)
             done = 0
-            for start, stop in tasks:
-                chunk_values, delta = evaluator.pairs(rows[start:stop], cols[start:stop])
+            for chunk_index, (start, stop) in enumerate(tasks):
+                with self.obs.span(
+                    "engine_chunk", track="engine", chunk=chunk_index, pairs=stop - start
+                ):
+                    chunk_values, delta = evaluator.pairs(rows[start:stop], cols[start:stop])
+                    self.obs.advance(stop - start)
                 values[start:stop] = chunk_values
                 self._absorb(delta)
                 done = stop
@@ -441,9 +455,16 @@ class DistanceEngine:
             processes=workers, initializer=_worker_init, initargs=(payload,)
         ) as pool:
             done = 0
-            for (start, stop), (chunk_values, delta) in zip(
-                tasks, pool.imap(_worker_chunk, tasks)
+            # Results arrive in task order (imap preserves it), so the
+            # per-chunk spans are deterministic for a fixed chunking even
+            # though workers race; the span brackets result collection.
+            for chunk_index, ((start, stop), (chunk_values, delta)) in enumerate(
+                zip(tasks, pool.imap(_worker_chunk, tasks))
             ):
+                with self.obs.span(
+                    "engine_chunk", track="engine", chunk=chunk_index, pairs=stop - start
+                ):
+                    self.obs.advance(stop - start)
                 values[start:stop] = chunk_values
                 self._absorb(delta)
                 done = stop
@@ -456,6 +477,10 @@ class DistanceEngine:
         self.stats.pair_misses += delta.pair_misses
         self.stats.singles.hits += delta.singles_hits
         self.stats.singles.misses += delta.singles_misses
+        self.obs.inc("engine_pair_hits", delta.pair_hits)
+        self.obs.inc("engine_pair_misses", delta.pair_misses)
+        self.obs.inc("engine_singles_hits", delta.singles_hits)
+        self.obs.inc("engine_singles_misses", delta.singles_misses)
 
 
 def _condensed_indices(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:

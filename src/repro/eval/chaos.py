@@ -54,6 +54,19 @@ class ChaosPoint:
         """Devices holding *some* server-generated set (fresh or cached)."""
         return self.fresh_fraction + self.cached_fraction
 
+    def to_dict(self) -> dict:
+        return {
+            "fault_rate": self.fault_rate,
+            "n_devices": self.n_devices,
+            "fresh_fraction": round(self.fresh_fraction, 6),
+            "cached_fraction": round(self.cached_fraction, 6),
+            "degraded_fraction": round(self.degraded_fraction, 6),
+            "reachable_fraction": round(self.reachable_fraction, 6),
+            "tp_percent": round(self.tp_percent, 6),
+            "fp_percent": round(self.fp_percent, 6),
+            "mean_attempts": round(self.mean_attempts, 6),
+        }
+
 
 def run_chaos_sweep(
     trace: Iterable,
@@ -143,6 +156,15 @@ def run_chaos_sweep(
             )
         )
     return points
+
+
+def chaos_report(points: Sequence[ChaosPoint]) -> dict:
+    """The sweep as one JSON-ready document (``repro chaos --json``)."""
+    return {
+        "bench": "chaos",
+        "n_points": len(points),
+        "points": [point.to_dict() for point in points],
+    }
 
 
 def render_chaos(points: Sequence[ChaosPoint]) -> str:

@@ -36,6 +36,7 @@ from repro.clustering.linkage import Linkage, agglomerate
 from repro.distance.engine import DistanceEngine
 from repro.distance.matrix import distance_matrix
 from repro.distance.packet import PacketDistance
+from repro.obs import Observability
 from repro.signatures.generator import GeneratorConfig, SignatureGenerator
 from repro.signatures.matcher import SignatureMatcher
 
@@ -137,6 +138,8 @@ class PerfReport:
     identical: bool
     engine_stats: dict = field(default_factory=dict)
     parallel_stats: dict = field(default_factory=dict)
+    stages: dict = field(default_factory=dict)
+    cache_counters: dict = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     budget: dict = field(default_factory=dict)
 
@@ -186,8 +189,10 @@ class PerfReport:
             },
             "identical": self.identical,
             "n_signatures": self.n_signatures,
+            "stages": self.stages,
             "cache": self.engine_stats,
             "cache_parallel": self.parallel_stats,
+            "cache_counters": self.cache_counters,
             "budget": self.budget,
             "violations": self.violations,
             "ok": self.ok,
@@ -248,41 +253,59 @@ def run_perf_bench(
     packets = suspicious[: min(sample, len(suspicious))]
     m = len(packets)
 
+    # The bench doubles as the observability demo for timed stages: a
+    # wall-clock tracer wraps each section so BENCH_perf.json carries a
+    # ``stages`` rollup (tick + wall totals) next to the raw timings.
+    obs = Observability.create(
+        seed=seed,
+        config={"bench": "perf", "n_apps": n_apps, "sample": sample, "workers": workers},
+        wall_clock=True,
+    )
+    n_pairs = m * (m - 1) // 2
+
     clock = time.perf_counter
-    t0 = clock()
-    naive = distance_matrix(packets, PacketDistance.paper())
-    matrix_naive_s = clock() - t0
+    with obs.span("matrix_naive", track="bench", n_pairs=n_pairs):
+        t0 = clock()
+        naive = distance_matrix(packets, PacketDistance.paper())
+        matrix_naive_s = clock() - t0
+        obs.advance(n_pairs)
 
-    serial_engine = DistanceEngine(PacketDistance.paper(), workers=1)
-    t0 = clock()
-    serial = serial_engine.matrix(packets)
-    matrix_serial_s = clock() - t0
+    serial_engine = DistanceEngine(PacketDistance.paper(), workers=1, obs=obs)
+    with obs.span("matrix_serial", track="bench", n_pairs=n_pairs):
+        t0 = clock()
+        serial = serial_engine.matrix(packets)
+        matrix_serial_s = clock() - t0
 
-    parallel_engine = DistanceEngine(PacketDistance.paper(), workers=workers)
-    t0 = clock()
-    parallel = parallel_engine.matrix(packets)
-    matrix_parallel_s = clock() - t0
+    parallel_engine = DistanceEngine(PacketDistance.paper(), workers=workers, obs=obs)
+    with obs.span("matrix_parallel", track="bench", n_pairs=n_pairs):
+        t0 = clock()
+        parallel = parallel_engine.matrix(packets)
+        matrix_parallel_s = clock() - t0
 
     identical = bool(
         np.array_equal(naive.values, serial.values)
         and np.array_equal(serial.values, parallel.values)
     )
 
-    t0 = clock()
-    dendrogram = agglomerate(serial, Linkage.GROUP_AVERAGE)
-    linkage_s = clock() - t0
+    with obs.span("linkage", track="bench", n_items=m):
+        t0 = clock()
+        dendrogram = agglomerate(serial, Linkage.GROUP_AVERAGE)
+        linkage_s = clock() - t0
+        obs.advance(max(0, m - 1))
 
     signatures = SignatureGenerator(GeneratorConfig()).from_dendrogram(dendrogram, packets)
     matcher = SignatureMatcher(signatures)
     screened = corpus.trace.packets[: min(screen_packets, len(corpus.trace))]
-    t0 = clock()
-    matcher.screen(screened)
-    screen_s = clock() - t0
+    with obs.span("screen", track="bench", n_packets=len(screened)):
+        t0 = clock()
+        matcher.screen(screened)
+        screen_s = clock() - t0
+        obs.advance(len(screened))
 
     report = PerfReport(
         n_apps=n_apps,
         m=m,
-        n_pairs=m * (m - 1) // 2,
+        n_pairs=n_pairs,
         workers=workers,
         cpu_count=cpu_count(),
         seed=seed,
@@ -296,6 +319,12 @@ def run_perf_bench(
         identical=identical,
         engine_stats=serial_engine.stats.to_dict(),
         parallel_stats=parallel_engine.stats.to_dict(),
+        stages=obs.profile().to_dict(),
+        cache_counters={
+            name: count
+            for name, count in sorted(obs.metrics.counters.items())
+            if name.startswith("engine_")
+        },
         budget=budget.to_dict(),
     )
     report.violations = budget.violations(report)

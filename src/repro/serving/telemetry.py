@@ -1,4 +1,12 @@
-"""Serving telemetry: counters, bucketed histograms, span events, JSONL.
+"""Serving telemetry: a thin shim over the :mod:`repro.obs` core.
+
+Historically this module owned the counter/histogram primitives; they now
+live in :mod:`repro.obs.metrics` (the shared observability core) and
+:class:`ServingTelemetry` delegates to a :class:`~repro.obs.metrics.Metrics`
+registry while keeping its exact public surface and export formats — the
+serving bench's JSONL and snapshot output is byte-for-byte what the
+pre-migration implementation produced (regression-tested in
+``tests/test_serving_telemetry.py``).
 
 Everything is measured in *logical ticks* (the gateway's deterministic
 clock) or plain counts, so two runs with the same seed produce identical
@@ -10,19 +18,24 @@ Three primitives:
 - monotonic **counters** (``increment``), keyed by name;
 - **histograms** with fixed bucket bounds (``observe``) reporting
   deterministic percentile estimates (the upper edge of the bucket the
-  quantile falls in, exact observed max for the overflow bucket);
+  quantile falls in, exact observed max for the overflow bucket; an empty
+  histogram's percentiles are defined as ``0.0``);
 - **span events** (``span``) — one dict per interesting interval or
   moment (a dispatched batch, an applied reload), exported as JSONL.
+
+Snapshot ordering is explicit: counters and histograms serialize with
+sorted keys, so exported artifacts diff cleanly across commits.
 """
 
 from __future__ import annotations
 
 import json
-import math
-from collections import defaultdict
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from repro.obs.metrics import Histogram, Metrics
+
+__all__ = ["DEPTH_BOUNDS", "Histogram", "LATENCY_BOUNDS", "ServingTelemetry"]
 
 #: Default latency bucket upper edges, in logical ticks (last is +inf).
 LATENCY_BOUNDS: tuple[float, ...] = (
@@ -33,112 +46,45 @@ LATENCY_BOUNDS: tuple[float, ...] = (
 DEPTH_BOUNDS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128)
 
 
-@dataclass
-class Histogram:
-    """A fixed-bound bucketed histogram with deterministic percentiles.
-
-    :param bounds: ascending bucket upper edges; an implicit overflow
-        bucket catches everything above the last edge.
-    """
-
-    bounds: tuple[float, ...]
-    counts: list[int] = field(default_factory=list)
-    count: int = 0
-    total: float = 0.0
-    min_value: float = 0.0
-    max_value: float = 0.0
-
-    def __post_init__(self) -> None:
-        if not self.bounds or list(self.bounds) != sorted(self.bounds):
-            raise ValueError(f"histogram bounds must be ascending, got {self.bounds!r}")
-        if not self.counts:
-            self.counts = [0] * (len(self.bounds) + 1)
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        if self.count == 0:
-            self.min_value = self.max_value = value
-        else:
-            self.min_value = min(self.min_value, value)
-            self.max_value = max(self.max_value, value)
-        self.count += 1
-        self.total += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Deterministic upper-bound estimate of the ``p`` quantile.
-
-        Returns the upper edge of the bucket the quantile lands in,
-        clamped to the exact observed maximum (so a sparse top bucket
-        never reports beyond what was seen).  Zero when empty.
-
-        :param p: quantile in ``[0, 1]``.
-        """
-        if not 0.0 <= p <= 1.0:
-            raise ValueError(f"percentile must be in [0, 1], got {p}")
-        if self.count == 0:
-            return 0.0
-        target = max(1, math.ceil(p * self.count))
-        cumulative = 0
-        for index, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= target:
-                if index == len(self.bounds):
-                    return self.max_value
-                return min(float(self.bounds[index]), self.max_value)
-        return self.max_value
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "count": self.count,
-            "mean": round(self.mean, 4),
-            "min": self.min_value,
-            "max": self.max_value,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "buckets": {
-                **{str(bound): n for bound, n in zip(self.bounds, self.counts)},
-                "+inf": self.counts[-1],
-            },
-        }
-
-
 class ServingTelemetry:
     """The gateway's measurement sink.
 
     One instance per gateway run; the serving bench snapshots it into the
     ``BENCH_serving.json`` report and can export the raw span log as JSONL
     for offline analysis.
+
+    :param metrics: the backing registry.  Pass a shared
+        :class:`~repro.obs.metrics.Metrics` to merge gateway counters with
+        the rest of a scenario (distribution channel, flow control) in one
+        Prometheus exposition; omitted, a private registry is created and
+        behaviour matches the pre-``repro.obs`` implementation exactly.
     """
 
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = defaultdict(int)
-        self.histograms: dict[str, Histogram] = {
-            "latency_ticks": Histogram(LATENCY_BOUNDS),
-            "shed_latency_ticks": Histogram(LATENCY_BOUNDS),
-            "queue_depth": Histogram(DEPTH_BOUNDS),
-            "batch_size": Histogram(DEPTH_BOUNDS),
-        }
+    def __init__(self, metrics: Metrics | None = None) -> None:
+        self.metrics = metrics or Metrics()
+        for name in ("latency_ticks", "shed_latency_ticks"):
+            self.metrics.histogram(name, LATENCY_BOUNDS)
+        for name in ("queue_depth", "batch_size"):
+            self.metrics.histogram(name, DEPTH_BOUNDS)
         self.spans: list[dict[str, Any]] = []
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """The registry's counter table (live view, not a copy)."""
+        return self.metrics.counters
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """The registry's histogram table (live view, not a copy)."""
+        return self.metrics.histograms
 
     def increment(self, name: str, by: int = 1) -> None:
         """Bump a monotonic counter."""
-        if by < 0:
-            raise ValueError(f"counters are monotonic; cannot add {by}")
-        self.counters[name] += by
+        self.metrics.inc(name, by)
 
     def observe(self, name: str, value: float) -> None:
         """Record one histogram observation (histogram must be registered)."""
-        self.histograms[name].observe(value)
+        self.metrics.histograms[name].observe(value)
 
     def span(self, kind: str, **fields: Any) -> None:
         """Append one span event (dispatch, completion, reload, ...)."""
@@ -149,7 +95,12 @@ class ServingTelemetry:
         return [span for span in self.spans if span["kind"] == kind]
 
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-serializable summary of everything measured so far."""
+        """A JSON-serializable summary of everything measured so far.
+
+        Counter and histogram keys are sorted — the snapshot (and the
+        JSONL summary line built from it) is byte-stable for identical
+        measurement sequences regardless of insertion order.
+        """
         return {
             "counters": dict(sorted(self.counters.items())),
             "histograms": {name: h.to_dict() for name, h in sorted(self.histograms.items())},

@@ -66,6 +66,22 @@ class SignatureGenerator:
 
         :raises SignatureError: on a leaf/packet count mismatch.
         """
+        return self.from_clusters(self.clusters_from_dendrogram(dendrogram, packets))
+
+    def clusters_from_dendrogram(
+        self,
+        dendrogram: Dendrogram,
+        packets: Sequence[HttpPacket],
+    ) -> list[list[HttpPacket]]:
+        """The cut stage alone: flat packet clusters from the merge tree.
+
+        Split out from :meth:`from_dendrogram` so callers (the observed
+        signature server) can account the dendrogram cut separately from
+        token extraction; composing the two methods is exactly
+        :meth:`from_dendrogram`.
+
+        :raises SignatureError: on a leaf/packet count mismatch.
+        """
         if dendrogram.n_leaves != len(packets):
             raise SignatureError(
                 f"dendrogram has {dendrogram.n_leaves} leaves but {len(packets)} packets given"
@@ -77,8 +93,7 @@ class SignatureGenerator:
             # packets are one tight group.  Treat the root as the cluster
             # rather than emitting nothing.
             nodes = [dendrogram.root]
-        clusters = [[packets[leaf] for leaf in dendrogram.leaves(node)] for node in nodes]
-        return self.from_clusters(clusters)
+        return [[packets[leaf] for leaf in dendrogram.leaves(node)] for node in nodes]
 
     def from_clusters(
         self, clusters: Sequence[Sequence[HttpPacket]]

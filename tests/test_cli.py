@@ -267,3 +267,106 @@ class TestBench:
         assert data["identical"] is True
         assert data["workers"] == 2
         assert data["violations"] == []
+
+
+class TestJsonFlag:
+    """The shared --json report path (bench/serve/chaos/trace/metrics)."""
+
+    def test_bench_json_is_parseable_and_exclusive(self, capsys):
+        code = main(
+            [
+                "bench", "--quick", "--apps", "30", "--sample", "16",
+                "--workers", "2", "--seed", "3", "--screen", "200", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "perf"
+        assert data["ok"] is True
+        assert "stages" in data and "cache_counters" in data
+        assert data["stages"]["stages"]["matrix_serial"]["count"] == 1
+        assert data["cache_counters"]["engine_pair_misses"] > 0
+
+    def test_chaos_json_reports_points(self, capsys):
+        code = main(
+            [
+                "chaos", "--apps", "30", "--seed", "1", "--sample", "20",
+                "--devices", "2", "--rates", "0,0.5", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "chaos"
+        assert data["n_points"] == 2
+        assert data["points"][0]["fault_rate"] == 0.0
+
+    def test_serve_json_is_parseable(self, capsys):
+        code = main(
+            [
+                "serve", "--quick", "--apps", "40", "--events", "400",
+                "--sample", "30", "--seed", "4", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "serving"
+
+
+class TestTrace:
+    def test_writes_artifacts_and_profile(self, tmp_path, capsys):
+        out = tmp_path / "trace_out"
+        code = main(
+            ["trace", "--apps", "15", "--sample", "12", "--seed", "2", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Stage profile" in text
+        for name in ("spans.jsonl", "trace.json", "metrics.prom", "stages.json"):
+            assert (out / name).exists(), name
+        stages = json.loads((out / "stages.json").read_text())
+        assert stages["stages"]["distance_matrix"]["count"] == 1
+
+    def test_trace_json_output(self, tmp_path, capsys):
+        out = tmp_path / "trace_out"
+        code = main(
+            [
+                "trace", "--apps", "15", "--sample", "12", "--seed", "2",
+                "--out", str(out), "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n_signatures"] >= 1
+        assert set(data["artifacts"]) == {"chrome", "metrics", "spans", "stages"}
+
+
+class TestMetrics:
+    def test_writes_registry_and_counters(self, tmp_path, capsys):
+        out = tmp_path / "metrics_out"
+        code = main(
+            [
+                "metrics", "--apps", "15", "--events", "150", "--sample", "12",
+                "--seed", "2", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Serving metrics" in text
+        assert "flow_decisions" in text
+        prom = (out / "metrics.prom").read_text()
+        assert "repro_channel_publishes 2" in prom
+        assert (out / "spans.jsonl").exists()
+        assert (out / "serving_spans.jsonl").exists()
+
+    def test_metrics_json_output(self, tmp_path, capsys):
+        out = tmp_path / "metrics_out"
+        code = main(
+            [
+                "metrics", "--apps", "15", "--events", "150", "--sample", "12",
+                "--seed", "2", "--out", str(out), "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["flow_decisions"] > 0
+        assert data["events"] == 150

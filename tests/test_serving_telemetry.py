@@ -37,6 +37,22 @@ class TestHistogram:
         assert h.mean == 0.0
         assert h.to_dict()["count"] == 0
 
+    def test_empty_histogram_to_dict_fully_defined(self):
+        # Regression: every moment/percentile of an empty histogram is a
+        # defined zero (never NaN/None), so exports stay diffable.
+        d = Histogram(bounds=(1.0, 2.0)).to_dict()
+        assert d == {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "buckets": {"1.0": 0, "2.0": 0, "+inf": 0},
+        }
+        assert json.dumps(d)  # JSON-clean, no NaN
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Histogram(bounds=())
@@ -90,3 +106,39 @@ class TestTelemetry:
         assert lines[0] == {"kind": "batch", "batch_id": 0, "size": 3}
         assert lines[-1]["kind"] == "summary"
         assert lines[-1]["histograms"]["queue_depth"]["count"] == 1
+
+    def test_snapshot_order_independent_of_insertion(self):
+        # Regression: counter insertion order must not leak into the
+        # snapshot (or the JSONL summary line built from it).
+        a, b = ServingTelemetry(), ServingTelemetry()
+        a.increment("zeta")
+        a.increment("alpha", 2)
+        b.increment("alpha", 2)
+        b.increment("zeta")
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+        assert list(a.snapshot()["counters"]) == ["alpha", "zeta"]
+
+    def test_empty_telemetry_snapshot_defined(self):
+        snapshot = ServingTelemetry().snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["spans"] == 0
+        assert set(snapshot["histograms"]) == {
+            "batch_size", "latency_ticks", "queue_depth", "shed_latency_ticks",
+        }
+        for h in snapshot["histograms"].values():
+            assert h["count"] == 0 and h["p99"] == 0.0
+
+    def test_observe_requires_registered_histogram(self):
+        t = ServingTelemetry()
+        with pytest.raises(KeyError):
+            t.observe("unregistered", 1.0)
+
+    def test_shared_registry_merges_counters(self):
+        from repro.obs.metrics import Metrics
+
+        metrics = Metrics()
+        metrics.inc("channel_publishes")
+        t = ServingTelemetry(metrics=metrics)
+        t.increment("batches")
+        assert metrics.counters == {"channel_publishes": 1, "batches": 1}
+        assert "repro_batches 1" in metrics.to_prometheus()
