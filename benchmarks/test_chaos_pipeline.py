@@ -1,0 +1,107 @@
+"""Chaos bench — supervised pipeline under worker and inter-stage faults.
+
+The distribution chaos bench asserts *graceful* degradation; this one
+asserts something stronger for the server side: **exact recovery**.  The
+supervised pipeline (:mod:`repro.supervision`) runs with chunk-level
+worker faults (crash / hang / poison, rates 0%–50%) and three injected
+inter-stage crashes per run, and at every swept point the recovered run's
+condensed distance matrix and signature set must be byte-identical to the
+fault-free baseline.
+
+Assertions:
+
+- every point completes with ``recovered=True`` after absorbing all three
+  stage crashes (restarts == number of crash points);
+- matrix and signatures are byte-identical to the fault-free run at every
+  rate (``invariant_holds``);
+- the high-rate points actually injected chunk faults (the sweep is not
+  vacuous) and exercised retry or quarantine recovery;
+- the sweep is deterministic (same seeds, same points).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.chaos import render_pipeline_chaos, run_pipeline_chaos_sweep
+from repro.simulation.corpus import mini_corpus
+
+RATES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+CRASH_STAGES = ("payload_check", "distance_matrix", "cut")
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def chaos_corpus():
+    return mini_corpus(seed=SEED, n_apps=80)
+
+
+@pytest.fixture(scope="module")
+def sweep(chaos_corpus):
+    return run_pipeline_chaos_sweep(
+        chaos_corpus.trace,
+        chaos_corpus.payload_check(),
+        chunk_rates=RATES,
+        crash_stages=CRASH_STAGES,
+        n_sample=60,
+        seed=SEED,
+    )
+
+
+def test_recovers_at_every_rate(sweep, benchmark):
+    assert len(sweep) == len(RATES)
+    for point in sweep:
+        assert point.recovered, f"run at rate {point.chunk_fault_rate} did not recover"
+        # every explicit crash point fired exactly once and was absorbed
+        assert point.restarts == len(CRASH_STAGES)
+        assert point.attempts == len(CRASH_STAGES) + 1
+
+
+def test_outputs_byte_identical_at_every_rate(sweep, benchmark):
+    for point in sweep:
+        assert point.matrix_identical, (
+            f"matrix diverged from fault-free baseline at rate {point.chunk_fault_rate}"
+        )
+        assert point.signatures_identical, (
+            f"signatures diverged from fault-free baseline at rate {point.chunk_fault_rate}"
+        )
+        assert point.invariant_holds
+
+
+def test_faults_actually_injected(sweep, benchmark):
+    # The zero-rate point must be clean ...
+    assert sweep[0].faults_injected == 0
+    assert sweep[0].chunks_retried == 0
+    assert sweep[0].chunks_quarantined == 0
+    # ... and the upper half of the sweep must not be vacuous: chunk
+    # faults landed and recovery (re-dispatch or quarantine) ran.
+    high = [p for p in sweep if p.chunk_fault_rate >= 0.3]
+    assert sum(p.faults_injected for p in high) > 0
+    assert sum(p.chunks_retried + p.chunks_quarantined for p in high) > 0
+
+
+def test_resume_replays_checkpointed_prefix(sweep, benchmark):
+    # Across one supervised run the seven stages execute exactly once in
+    # total (checkpoints absorb the re-runs), while each crash forces the
+    # next attempt to replay the journaled prefix.
+    for point in sweep:
+        assert point.stages_executed == 7
+        assert point.stages_replayed > 0
+
+
+def test_sweep_is_deterministic(chaos_corpus, sweep, benchmark):
+    again = run_pipeline_chaos_sweep(
+        chaos_corpus.trace,
+        chaos_corpus.payload_check(),
+        chunk_rates=(0.0, 0.3),
+        crash_stages=CRASH_STAGES,
+        n_sample=60,
+        seed=SEED,
+    )
+    matching = [p for p in sweep if p.chunk_fault_rate in (0.0, 0.3)]
+    assert again == matching
+
+
+def test_render_pipeline_chaos(sweep, benchmark):
+    text = render_pipeline_chaos(sweep)
+    assert "invariant: holds" in text
+    emit("chaos_pipeline", text)

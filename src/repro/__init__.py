@@ -29,7 +29,14 @@ from repro.core.distribution import (
 from repro.core.flowcontrol import Decision, FlowControlApp, PolicyAction
 from repro.core.pipeline import DetectionPipeline, PipelineConfig
 from repro.core.server import SignatureServer
-from repro.reliability import CircuitBreaker, FaultKind, FaultPlan, Quarantine, RetryPolicy
+from repro.reliability import (
+    CircuitBreaker,
+    FaultKind,
+    FaultPlan,
+    Quarantine,
+    RetryPolicy,
+    WorkerFaultPlan,
+)
 from repro.dataset.trace import Trace
 from repro.distance.ncd import Compressor, ncd
 from repro.distance.packet import PacketDistance
@@ -42,6 +49,7 @@ from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.matcher import ProbabilisticMatcher, SignatureMatcher
 from repro.signatures.store import SignatureStore
 from repro.simulation.corpus import Corpus, build_corpus, mini_corpus, paper_corpus
+from repro.supervision import CheckpointStore, CrashPlan, StagedPipeline, Supervisor
 
 __version__ = "1.0.0"
 
@@ -84,6 +92,12 @@ __all__ = [
     "RetryPolicy",
     "CircuitBreaker",
     "Quarantine",
+    # supervised execution
+    "WorkerFaultPlan",
+    "CheckpointStore",
+    "CrashPlan",
+    "StagedPipeline",
+    "Supervisor",
     # corpus
     "Corpus",
     "build_corpus",

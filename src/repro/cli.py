@@ -226,8 +226,6 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.eval.chaos import chaos_report, render_chaos, run_chaos_sweep
-
     try:
         rates = [float(r) for r in args.rates.split(",") if r.strip()]
     except ValueError:
@@ -237,6 +235,37 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"--rates must be one or more values in [0, 1), got {args.rates!r}", file=sys.stderr)
         return 2
     corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    if args.target == "pipeline":
+        from repro.eval.chaos import (
+            pipeline_chaos_report,
+            render_pipeline_chaos,
+            run_pipeline_chaos_sweep,
+        )
+        from repro.supervision import PIPELINE_STAGES
+
+        crash_stages = [s.strip() for s in args.crash_stages.split(",") if s.strip()]
+        unknown = [s for s in crash_stages if s not in PIPELINE_STAGES]
+        if unknown:
+            print(
+                f"--crash-stages must name pipeline stages {PIPELINE_STAGES}, "
+                f"got {unknown}",
+                file=sys.stderr,
+            )
+            return 2
+        points = run_pipeline_chaos_sweep(
+            corpus.trace,
+            corpus.payload_check(),
+            rates,
+            crash_stages=crash_stages,
+            n_sample=args.sample,
+            seed=args.seed,
+        )
+        emit_report(args, render_pipeline_chaos(points), pipeline_chaos_report(points))
+        # The exact-recovery invariant is the whole point of this sweep;
+        # CI keys off the exit status.
+        return 0 if all(point.invariant_holds for point in points) else 1
+    from repro.eval.chaos import chaos_report, render_chaos, run_chaos_sweep
+
     points = run_chaos_sweep(
         corpus.trace,
         corpus.payload_check(),
@@ -486,13 +515,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_flag(p)
     p.set_defaults(func=cmd_serve)
 
-    p = sub.add_parser("chaos", help="sweep distribution-channel fault rates")
+    p = sub.add_parser("chaos", help="sweep fault rates over a target subsystem")
+    p.add_argument("--target", choices=("distribution", "pipeline"), default="distribution",
+                   help="distribution = server->device channel faults; "
+                        "pipeline = supervised execution under worker + stage faults")
     p.add_argument("--apps", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sample", type=int, default=60)
     p.add_argument("--devices", type=int, default=6)
     p.add_argument("--rates", default="0,0.1,0.25,0.5",
-                   help="comma-separated total fault rates in [0,1)")
+                   help="comma-separated fault rates in [0,1) (chunk-fault "
+                        "rates for --target pipeline)")
+    p.add_argument("--crash-stages", default="payload_check,distance_matrix,cut",
+                   help="pipeline stages whose boundary gets an injected "
+                        "crash, once each (--target pipeline only)")
     add_json_flag(p)
     p.set_defaults(func=cmd_chaos)
 

@@ -122,3 +122,17 @@ class DetectionPipeline:
     def sweep(self, sample_sizes: list[int], seed: int = 0) -> list[PipelineResult]:
         """The Fig 4 sweep: one run per N, same corpus, fresh samples."""
         return [self.run(n, seed=seed + i) for i, n in enumerate(sample_sizes)]
+
+    def supervised(self, **kwargs):
+        """A checkpointed :class:`~repro.supervision.runner.StagedPipeline`
+        over the same trace, labeler, and configuration.
+
+        Keyword arguments (``store``, ``crash_plan``, ``fault_plan``,
+        ``retry``, ``obs``) pass through to the staged runner; ``obs``
+        defaults to this pipeline's bundle.  Imported lazily so the plain
+        pipeline never pays for the supervision layer.
+        """
+        from repro.supervision.runner import StagedPipeline
+
+        kwargs.setdefault("obs", self.obs)
+        return StagedPipeline(self.trace, self.payload_check, self.config, **kwargs)

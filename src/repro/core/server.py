@@ -22,6 +22,8 @@ from repro.errors import ReproError, SignatureError
 from repro.http.packet import HttpPacket
 from repro.obs import NULL_OBS, Observability
 from repro.reliability.quarantine import Quarantine
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.workerfaults import WorkerFaultPlan
 from repro.sensitive.payload_check import PayloadCheck
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.generator import GeneratorConfig, SignatureGenerator
@@ -64,6 +66,11 @@ class SignatureServer:
         span per generation stage (sample, distance_matrix, linkage, cut,
         signature_gen) plus ingest counters and a quarantine-depth gauge.
         Outputs are bit-identical with or without it.
+    :param fault_plan: optional seeded chunk-fault injector for the
+        distance engine (worker crash / hang / poison); the engine then
+        runs its supervised dispatch loop, and the matrix stays
+        bit-identical to the fault-free run.
+    :param retry: chunk re-dispatch policy used with ``fault_plan``.
     """
 
     def __init__(
@@ -73,12 +80,20 @@ class SignatureServer:
         config: ServerConfig | None = None,
         quarantine_capacity: int = 256,
         obs: Observability | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.payload_check = payload_check
         self.distance = distance or PacketDistance.paper()
         self.config = config or ServerConfig()
         self.obs = obs or NULL_OBS
-        self.engine = DistanceEngine(self.distance, workers=self.config.workers, obs=self.obs)
+        self.engine = DistanceEngine(
+            self.distance,
+            workers=self.config.workers,
+            obs=self.obs,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
         self.quarantine = Quarantine(capacity=quarantine_capacity)
         self._suspicious: list[HttpPacket] = []
         self._normal: list[HttpPacket] = []

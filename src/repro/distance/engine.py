@@ -34,11 +34,27 @@ item population over time (``repro.core.incremental``).
 
 Metrics that are not :class:`PacketDistance` instances fall back to a
 generic per-pair evaluator (still chunked and parallelizable when the
-metric pickles; silently serial when it does not, e.g. for lambdas).
+metric pickles; serial — with ``EngineStats.fallback`` set to
+``"unpicklable_metric"`` — when it does not, e.g. for lambdas).
+
+**Worker-pool fault tolerance.**  Passing a
+:class:`~repro.reliability.workerfaults.WorkerFaultPlan` switches the
+engine into supervised dispatch: every chunk attempt may crash (result
+lost), hang (charged the plan's logical-tick deadline, then declared
+dead), or return poisoned values.  Crashed and hung chunks are
+re-dispatched under the engine's :class:`~repro.reliability.retry.RetryPolicy`
+with seeded backoff; poisoned chunks — detected by per-chunk integrity
+checksums taken before the injection point — and chunks that exhaust
+their retry budget are quarantined and recomputed serially in the
+parent, which the plan never touches.  The invariant, asserted by tests
+and the pipeline chaos sweep: a recovered run is **bit-identical** to a
+fault-free run at any fault rate, worker count, or chunking.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import math
 import multiprocessing
 import os
@@ -54,6 +70,10 @@ from repro.distance.ncd import CacheStats, NcdCalculator
 from repro.distance.packet import PacketDistance
 from repro.errors import DistanceError
 from repro.obs import NULL_OBS, Observability
+from repro.reliability.quarantine import Quarantine
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.workerfaults import ChunkFaultKind, WorkerFaultPlan
+from repro.simulation.rng import derive_rng
 
 #: Condensed-index pairs per pool task.  Small enough to load-balance a
 #: handful of workers, large enough that per-task IPC is negligible.
@@ -71,8 +91,13 @@ class EngineStats:
     chunks: int = 1
     mode: str = "generic"  # "packet" (decomposed fast path) or "generic"
     fallback: str | None = None
+    fallback_detail: str | None = None
     pair_hits: int = 0
     pair_misses: int = 0
+    chunks_retried: int = 0
+    chunks_quarantined: int = 0
+    faults_injected: int = 0
+    recovered: bool = True
     singles: CacheStats = field(default_factory=CacheStats)
 
     @property
@@ -93,8 +118,13 @@ class EngineStats:
             "chunks": self.chunks,
             "mode": self.mode,
             "fallback": self.fallback,
+            "fallback_detail": self.fallback_detail,
             "pair_hits": self.pair_hits,
             "pair_misses": self.pair_misses,
+            "chunks_retried": self.chunks_retried,
+            "chunks_quarantined": self.chunks_quarantined,
+            "faults_injected": self.faults_injected,
+            "recovered": self.recovered,
             "pair_hit_rate": round(self.pair_hit_rate, 4),
             "singles_hits": self.singles.hits,
             "singles_misses": self.singles.misses,
@@ -261,6 +291,7 @@ class _WorkerState:
     n_full: int | None  # condensed triu over n items …
     rows: np.ndarray | None  # … or an explicit pair list (extension mode)
     cols: np.ndarray | None
+    plan: WorkerFaultPlan | None = None
 
 
 _WORKER: _WorkerState | None = None
@@ -278,6 +309,60 @@ def _worker_chunk(task: tuple[int, int]) -> tuple[np.ndarray, _ChunkStats]:
     start, stop = task
     assert _WORKER is not None
     return _WORKER.evaluator.pairs(_WORKER.rows[start:stop], _WORKER.cols[start:stop])
+
+
+@dataclass(slots=True)
+class _ChunkOutcome:
+    """One supervised chunk-evaluation attempt, as reported to the dispatcher.
+
+    ``checksum`` is taken over the honest result bytes *before* the poison
+    injection point, so the dispatcher's integrity check catches silent
+    corruption between compute and delivery.
+    """
+
+    chunk_index: int
+    attempt: int
+    kind: str  # ChunkFaultKind value
+    values: np.ndarray | None
+    stats: _ChunkStats | None
+    checksum: str | None
+
+
+def _evaluate_chunk(
+    evaluator,
+    plan: WorkerFaultPlan | None,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    chunk_index: int,
+    start: int,
+    stop: int,
+    attempt: int,
+) -> _ChunkOutcome:
+    """Evaluate one chunk under (optional) fault injection.
+
+    Runs identically in-process and inside pool workers; the fault outcome
+    is a pure function of ``(plan.seed, chunk_index, attempt)``, so results
+    are independent of where the call executes.
+    """
+    kind = plan.outcome(chunk_index, attempt) if plan is not None else ChunkFaultKind.NONE
+    if kind in (ChunkFaultKind.CRASH, ChunkFaultKind.HANG):
+        # The work is lost either way; computing it first would only burn
+        # cycles without changing any observable output.
+        return _ChunkOutcome(chunk_index, attempt, kind.value, None, None, None)
+    values, stats = evaluator.pairs(rows[start:stop], cols[start:stop])
+    checksum = _chunk_checksum(values)
+    if kind is ChunkFaultKind.POISON:
+        values = plan.corrupt(values, chunk_index, attempt)
+    return _ChunkOutcome(chunk_index, attempt, kind.value, values, stats, checksum)
+
+
+def _worker_supervised_chunk(task: tuple[int, int, int, int]) -> _ChunkOutcome:
+    chunk_index, start, stop, attempt = task
+    assert _WORKER is not None
+    return _evaluate_chunk(
+        _WORKER.evaluator, _WORKER.plan, _WORKER.rows, _WORKER.cols,
+        chunk_index, start, stop, attempt,
+    )
 
 
 def _pool_context():
@@ -300,6 +385,16 @@ class DistanceEngine:
         counters.  The bundle never crosses the process boundary — worker
         state is pickled before it is consulted — and computed values are
         bit-identical with or without it.
+    :param fault_plan: optional seeded
+        :class:`~repro.reliability.workerfaults.WorkerFaultPlan`.  When
+        given, dispatch is supervised: crashed/hung chunks are re-dispatched
+        under ``retry`` (seeded backoff, per-retry ``engine_chunk_retry``
+        spans), poisoned or retry-exhausted chunks are quarantined and
+        recomputed serially in the parent, and :attr:`stats` reports
+        ``chunks_retried`` / ``chunks_quarantined`` / ``recovered``.
+        Recovered results are bit-identical to a fault-free run.
+    :param retry: re-dispatch budget and backoff for failed chunks
+        (default: 3 attempts, deterministic exponential backoff).
     """
 
     def __init__(
@@ -309,6 +404,8 @@ class DistanceEngine:
         workers: int = 1,
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
         obs: Observability | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if workers < 0:
             raise DistanceError(f"workers must be >= 0, got {workers}")
@@ -318,6 +415,9 @@ class DistanceEngine:
         self.workers = workers or (os.cpu_count() or 1)
         self.chunk_pairs = chunk_pairs
         self.obs = obs or NULL_OBS
+        self.fault_plan = fault_plan
+        self.retry = retry or RetryPolicy(max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.25)
+        self.quarantine = Quarantine(capacity=64) if fault_plan is not None else None
         self.stats = EngineStats()
 
     # -- public API ---------------------------------------------------------------
@@ -424,11 +524,23 @@ class DistanceEngine:
         if workers > 1:
             try:
                 payload = pickle.dumps(
-                    _WorkerState(evaluator=evaluator, n_full=n_full, rows=rows, cols=cols)
+                    _WorkerState(
+                        evaluator=evaluator, n_full=n_full, rows=rows, cols=cols,
+                        plan=self.fault_plan,
+                    )
                 )
             except Exception as exc:  # unpicklable metric/items: stay serial
-                self.stats.fallback = f"serial fallback: {exc.__class__.__name__}: {exc}"
+                self.stats.fallback = "unpicklable_metric"
+                self.stats.fallback_detail = f"{exc.__class__.__name__}: {exc}"
+                self.obs.inc("engine_fallback_unpicklable")
                 workers = 1
+
+        if self.fault_plan is not None:
+            return self._compute_supervised(
+                evaluator, tasks, total,
+                n_full=n_full, rows=rows, cols=cols,
+                workers=workers, payload=payload, progress=progress,
+            )
 
         values = np.empty(total, dtype=float)
         if workers <= 1 or payload is None:
@@ -472,6 +584,148 @@ class DistanceEngine:
                     progress(done, total)
         return values
 
+    def _compute_supervised(
+        self,
+        evaluator,
+        tasks: list[tuple[int, int]],
+        total: int,
+        *,
+        n_full: int | None,
+        rows: np.ndarray | None,
+        cols: np.ndarray | None,
+        workers: int,
+        payload: bytes | None,
+        progress: Callable[[int, int], None] | None,
+    ) -> np.ndarray:
+        """Fault-tolerant chunk dispatch under :attr:`fault_plan`.
+
+        Failed attempts are re-dispatched in rounds, in chunk-index order,
+        so recovery is deterministic for a seed regardless of worker count
+        or scheduling; quarantined chunks are recomputed serially in the
+        parent, which the plan never touches.  The assembled matrix is
+        bit-identical to a fault-free run.
+        """
+        plan = self.fault_plan
+        assert plan is not None
+        self.stats.recovered = False
+        if rows is None:
+            rows, cols = np.triu_indices(n_full, k=1)
+        pool_workers = min(workers, len(tasks)) if payload is not None else 1
+        self.stats.workers_used = max(1, pool_workers)
+        values = np.empty(total, dtype=float)
+        done_pairs = 0
+        pending = [(index, start, stop, 0) for index, (start, stop) in enumerate(tasks)]
+
+        pool_cm = (
+            _pool_context().Pool(
+                processes=pool_workers, initializer=_worker_init, initargs=(payload,)
+            )
+            if pool_workers > 1
+            else contextlib.nullcontext(None)
+        )
+        with pool_cm as pool:
+            while pending:
+                retry_round: list[tuple[int, int, int, int]] = []
+                if pool is not None:
+                    outcomes = pool.imap(_worker_supervised_chunk, pending)
+                else:
+                    outcomes = (
+                        _evaluate_chunk(evaluator, plan, rows, cols, *task) for task in pending
+                    )
+                for task, outcome in zip(pending, outcomes):
+                    chunk_index, start, stop, attempt = task
+                    kind = ChunkFaultKind(outcome.kind)
+                    plan.record(kind)
+                    if kind is not ChunkFaultKind.NONE:
+                        self.stats.faults_injected += 1
+                        self.obs.inc("engine_faults_injected")
+
+                    if outcome.values is None:
+                        # CRASH (result lost) or HANG (deadline elapsed
+                        # before the attempt was declared dead).
+                        if kind is ChunkFaultKind.HANG:
+                            self.obs.advance(plan.deadline_ticks)
+                        if attempt + 1 < self.retry.max_attempts:
+                            delay = self.retry.backoff(
+                                attempt,
+                                derive_rng(plan.seed, "engine-retry", str(chunk_index), str(attempt)),
+                            )
+                            with self.obs.span(
+                                "engine_chunk_retry", track="engine",
+                                chunk=chunk_index, attempt=attempt + 1, reason=kind.value,
+                            ):
+                                self.obs.advance(int(round(delay)))
+                            self.stats.chunks_retried += 1
+                            self.obs.inc("engine_chunks_retried")
+                            retry_round.append((chunk_index, start, stop, attempt + 1))
+                        else:
+                            done_pairs += self._quarantine_and_recompute(
+                                evaluator, values, rows, cols, chunk_index, start, stop,
+                                attempt, reason=f"retry_budget_exhausted_{kind.value}",
+                            )
+                            if progress is not None:
+                                progress(done_pairs, total)
+                        continue
+
+                    if _chunk_checksum(outcome.values) != outcome.checksum:
+                        # Integrity violation — a poisoned (or genuinely
+                        # corrupted) result.  Never retried through the
+                        # plan: quarantine, then recompute where the plan
+                        # cannot reach.
+                        done_pairs += self._quarantine_and_recompute(
+                            evaluator, values, rows, cols, chunk_index, start, stop,
+                            attempt, reason="poisoned_chunk",
+                        )
+                        if progress is not None:
+                            progress(done_pairs, total)
+                        continue
+
+                    with self.obs.span(
+                        "engine_chunk", track="engine",
+                        chunk=chunk_index, pairs=stop - start, attempt=attempt,
+                    ):
+                        self.obs.advance(stop - start)
+                    values[start:stop] = outcome.values
+                    self._absorb(outcome.stats)
+                    done_pairs += stop - start
+                    if progress is not None:
+                        progress(done_pairs, total)
+                pending = retry_round
+        self.stats.recovered = True
+        return values
+
+    def _quarantine_and_recompute(
+        self,
+        evaluator,
+        values: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        chunk_index: int,
+        start: int,
+        stop: int,
+        attempt: int,
+        *,
+        reason: str,
+    ) -> int:
+        """Quarantine one failed chunk and recompute it serially in the parent."""
+        self.stats.chunks_quarantined += 1
+        self.obs.inc("engine_chunks_quarantined")
+        if self.quarantine is not None:
+            self.quarantine.add(
+                DistanceError(f"chunk {chunk_index} failed at attempt {attempt}: {reason}"),
+                payload=(chunk_index, start, stop),
+                reason=reason,
+            )
+        with self.obs.span(
+            "engine_chunk_recompute", track="engine",
+            chunk=chunk_index, pairs=stop - start, reason=reason,
+        ):
+            chunk_values, delta = evaluator.pairs(rows[start:stop], cols[start:stop])
+            self.obs.advance(stop - start)
+        values[start:stop] = chunk_values
+        self._absorb(delta)
+        return stop - start
+
     def _absorb(self, delta: _ChunkStats) -> None:
         self.stats.pair_hits += delta.pair_hits
         self.stats.pair_misses += delta.pair_misses
@@ -481,6 +735,11 @@ class DistanceEngine:
         self.obs.inc("engine_pair_misses", delta.pair_misses)
         self.obs.inc("engine_singles_hits", delta.singles_hits)
         self.obs.inc("engine_singles_misses", delta.singles_misses)
+
+
+def _chunk_checksum(values: np.ndarray) -> str:
+    """Integrity checksum over one chunk's result bytes."""
+    return hashlib.sha256(values.tobytes()).hexdigest()
 
 
 def _condensed_indices(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:

@@ -96,5 +96,16 @@ class SimulationError(ReproError):
     """The traffic simulation was configured inconsistently."""
 
 
+class SupervisionError(ReproError):
+    """Supervised pipeline execution could not recover a run.
+
+    Raised by :mod:`repro.supervision` when a checkpointed run exhausts its
+    restart budget, or when a checkpoint journal is inconsistent with the
+    requested resume.  Injected inter-stage crashes are the subclass
+    :class:`repro.supervision.crash.InjectedCrash`, which the supervisor
+    absorbs during restart-with-resume.
+    """
+
+
 class DatasetError(ReproError):
     """A trace or dataset file was malformed or inconsistent."""

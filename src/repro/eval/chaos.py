@@ -15,7 +15,16 @@ The headline property is graceful degradation: mean detection should never
 cliff to zero, and should stay above ``TP(0) * (1 - fault_rate)`` — the
 floor asserted by ``benchmarks/test_chaos_distribution.py``.
 
-Determinism: the whole sweep derives from explicit seeds; running it twice
+The second sweep (:func:`run_pipeline_chaos_sweep`) targets the *server
+side*: the supervised pipeline (:mod:`repro.supervision`) runs under
+combined chunk-level worker faults (crash / hang / poison) and injected
+inter-stage crashes.  Its headline property is stronger than graceful
+degradation — **exact recovery**: at every swept point the recovered run's
+condensed distance matrix and signature set must be byte-identical to the
+fault-free baseline (``matrix_identical`` / ``signatures_identical``),
+asserted by ``benchmarks/test_chaos_pipeline.py`` and the CI chaos job.
+
+Determinism: both sweeps derive from explicit seeds; running them twice
 yields identical points.
 """
 
@@ -181,4 +190,174 @@ def render_chaos(points: Sequence[ChaosPoint]) -> str:
             f"{point.degraded_fraction:>6.2f} {point.tp_percent:>6.1f} "
             f"{point.fp_percent:>6.1f} {point.mean_attempts:>6.2f}"
         )
+    return "\n".join(lines)
+
+
+# -- pipeline chaos (supervised execution under worker + stage faults) -------------
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineChaosPoint:
+    """One chunk-fault rate's supervised-run outcome vs the fault-free baseline.
+
+    ``stages_executed`` counts stage executions across *all* attempts (the
+    checkpoint journal length — 7 means no stage ever recomputed);
+    ``stages_replayed`` counts checkpoint replays in the final attempt.
+    """
+
+    chunk_fault_rate: float
+    crash_stages: tuple[str, ...]
+    attempts: int
+    restarts: int
+    recovered: bool
+    matrix_identical: bool
+    signatures_identical: bool
+    chunks_retried: int
+    chunks_quarantined: int
+    faults_injected: int
+    stages_executed: int
+    stages_replayed: int
+
+    @property
+    def invariant_holds(self) -> bool:
+        """The exact-recovery invariant: recovered AND byte-identical outputs."""
+        return self.recovered and self.matrix_identical and self.signatures_identical
+
+    def to_dict(self) -> dict:
+        return {
+            "chunk_fault_rate": self.chunk_fault_rate,
+            "crash_stages": list(self.crash_stages),
+            "attempts": self.attempts,
+            "restarts": self.restarts,
+            "recovered": self.recovered,
+            "matrix_identical": self.matrix_identical,
+            "signatures_identical": self.signatures_identical,
+            "invariant_holds": self.invariant_holds,
+            "chunks_retried": self.chunks_retried,
+            "chunks_quarantined": self.chunks_quarantined,
+            "faults_injected": self.faults_injected,
+            "stages_executed": self.stages_executed,
+            "stages_replayed": self.stages_replayed,
+        }
+
+
+def run_pipeline_chaos_sweep(
+    trace: Iterable,
+    check: PayloadCheck,
+    chunk_rates: Sequence[float],
+    crash_stages: Sequence[str] = ("payload_check", "distance_matrix", "cut"),
+    n_sample: int = 60,
+    seed: int = 0,
+    workers: int = 1,
+    retry: RetryPolicy | None = None,
+    max_restarts: int = 8,
+    chunk_pairs: int = 128,
+) -> list[PipelineChaosPoint]:
+    """Sweep chunk-fault rates over the supervised pipeline.
+
+    A fault-free :class:`~repro.supervision.runner.StagedPipeline` run
+    establishes the baseline (condensed matrix bytes, serialized signature
+    set).  Then, per swept rate, a fresh checkpoint store and a
+    :class:`~repro.supervision.supervisor.Supervisor` drive the pipeline
+    through a seeded :class:`~repro.reliability.workerfaults.WorkerFaultPlan`
+    (worker crash / hang / poison at chunk granularity) **and** an
+    explicit :class:`~repro.supervision.crash.CrashPlan` that kills the
+    run at every stage boundary in ``crash_stages``, once each.  The point
+    records whether the run completed, how much recovery it took, and
+    whether the outputs came back byte-identical.
+
+    :param trace: the full captured dataset.
+    :param check: ground-truth labeler for the capture device.
+    :param chunk_rates: total worker-fault rates to sweep (each in ``[0, 1]``).
+    :param crash_stages: stage boundaries killed once per supervised run.
+    :param n_sample: N for signature generation.
+    :param seed: determinism root for sampling, faults, and crash draws.
+    :param workers: distance-engine process count (output is bit-identical
+        for any setting).
+    :param retry: chunk re-dispatch policy (default: engine default).
+    :param max_restarts: supervisor crash budget per point.
+    :param chunk_pairs: pairs per engine chunk — deliberately small so a
+        run spans many chunks and chunk-level faults actually land.
+    """
+    from repro.core.pipeline import PipelineConfig
+    from repro.reliability.workerfaults import WorkerFaultPlan
+    from repro.signatures.store import SignatureStore
+    from repro.supervision import CheckpointStore, CrashPlan, StagedPipeline, Supervisor
+
+    config = PipelineConfig(workers=workers)
+    baseline = StagedPipeline(trace, check, config, chunk_pairs=chunk_pairs).run(
+        n_sample, seed=seed
+    )
+    baseline_matrix = baseline.matrix.values.tobytes()
+    baseline_signatures = SignatureStore.dumps(baseline.signatures)
+
+    points: list[PipelineChaosPoint] = []
+    for rate in chunk_rates:
+        # Seed derived from the rate itself (not its sweep position) so a
+        # point is reproducible regardless of which rates it is swept with.
+        point_seed = seed + 7919 * (1 + round(rate * 1000))
+        fault_plan = WorkerFaultPlan.uniform(rate, seed=point_seed) if rate else None
+        pipeline = StagedPipeline(
+            trace,
+            check,
+            config,
+            store=CheckpointStore(),
+            crash_plan=CrashPlan.after(*crash_stages, seed=point_seed),
+            fault_plan=fault_plan,
+            retry=retry,
+            chunk_pairs=chunk_pairs,
+        )
+        outcome = Supervisor(pipeline, max_restarts=max_restarts).run(n_sample, seed=seed)
+        stats = outcome.result.engine_stats
+        points.append(
+            PipelineChaosPoint(
+                chunk_fault_rate=rate,
+                crash_stages=tuple(crash_stages),
+                attempts=outcome.attempts,
+                restarts=outcome.restarts,
+                recovered=outcome.recovered and (stats is None or stats.recovered),
+                matrix_identical=outcome.result.matrix.values.tobytes() == baseline_matrix,
+                signatures_identical=(
+                    SignatureStore.dumps(outcome.result.signatures) == baseline_signatures
+                ),
+                chunks_retried=stats.chunks_retried if stats else 0,
+                chunks_quarantined=stats.chunks_quarantined if stats else 0,
+                faults_injected=stats.faults_injected if stats else 0,
+                # Journal length = total stage executions across ALL
+                # attempts; exactly 7 proves checkpoints absorbed every
+                # re-run.  Replays are from the final (successful) attempt.
+                stages_executed=len(pipeline.store.stages),
+                stages_replayed=len(outcome.result.stages_replayed),
+            )
+        )
+    return points
+
+
+def pipeline_chaos_report(points: Sequence[PipelineChaosPoint]) -> dict:
+    """The sweep as one JSON-ready document (``repro chaos --target pipeline --json``)."""
+    return {
+        "bench": "chaos_pipeline",
+        "n_points": len(points),
+        "invariant_holds": all(point.invariant_holds for point in points),
+        "points": [point.to_dict() for point in points],
+    }
+
+
+def render_pipeline_chaos(points: Sequence[PipelineChaosPoint]) -> str:
+    """A fixed-width table of the supervised-pipeline sweep."""
+    lines = [
+        "Chaos sweep — supervised pipeline under worker + stage faults",
+        f"{'chunk%':>7} {'tries':>6} {'restart':>8} {'retried':>8} "
+        f"{'quarant':>8} {'faults':>7} {'matrix':>7} {'sigs':>5}",
+    ]
+    for point in points:
+        lines.append(
+            f"{100 * point.chunk_fault_rate:>6.0f}% "
+            f"{point.attempts:>6d} {point.restarts:>8d} {point.chunks_retried:>8d} "
+            f"{point.chunks_quarantined:>8d} {point.faults_injected:>7d} "
+            f"{'=' if point.matrix_identical else '!':>7} "
+            f"{'=' if point.signatures_identical else '!':>5}"
+        )
+    verdict = "holds" if all(p.invariant_holds for p in points) else "VIOLATED"
+    lines.append(f"exact-recovery invariant: {verdict} across {len(points)} points")
     return "\n".join(lines)

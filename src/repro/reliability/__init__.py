@@ -13,7 +13,12 @@ provides the building blocks the distribution layer
 - :mod:`repro.reliability.retry` — exponential backoff with seeded jitter,
   attempt budgets, and a circuit breaker over a *logical* clock;
 - :mod:`repro.reliability.quarantine` — a bounded holding pen for malformed
-  inputs so one corrupt record never aborts a batch.
+  inputs so one corrupt record never aborts a batch;
+- :mod:`repro.reliability.workerfaults` — a seeded injector of *compute*
+  failures (worker crash / hang-past-deadline / poisoned result) at
+  distance-engine chunk granularity, the counterpart of the network-side
+  :class:`~repro.reliability.faults.FaultPlan` for the supervised
+  execution layer (:mod:`repro.supervision`).
 
 Everything here follows the repo's determinism rule (DESIGN.md §6): no
 wall-clock reads, no global RNG — faults and jitter derive from explicit
@@ -23,6 +28,7 @@ seeds, and time is a logical tick counter advanced by the caller.
 from repro.reliability.faults import FaultKind, FaultOutcome, FaultPlan
 from repro.reliability.quarantine import Quarantine, QuarantineRecord
 from repro.reliability.retry import BreakerState, CircuitBreaker, RetryPolicy
+from repro.reliability.workerfaults import ChunkFaultKind, WorkerFaultPlan
 
 __all__ = [
     "FaultKind",
@@ -31,6 +37,8 @@ __all__ = [
     "RetryPolicy",
     "CircuitBreaker",
     "BreakerState",
+    "ChunkFaultKind",
     "Quarantine",
     "QuarantineRecord",
+    "WorkerFaultPlan",
 ]

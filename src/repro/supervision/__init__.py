@@ -1,0 +1,50 @@
+"""``repro.supervision`` — supervised pipeline execution (DESIGN.md §6.4).
+
+The detection pipeline is a seven-stage batch job (collect → payload_check
+→ sample → distance_matrix → linkage → cut → signature_gen); at production
+corpus sizes a run is long enough that "the process died mid-run" is the
+expected failure, not the exceptional one.  This package makes the
+pipeline restartable without making it non-deterministic:
+
+- :mod:`repro.supervision.checkpoint` — a content-addressed, verified
+  checkpoint store keyed by ``sha256(seed + config + stage)``; corrupt
+  blobs degrade to recomputation;
+- :mod:`repro.supervision.crash` — seeded inter-stage crash injection
+  (:class:`CrashPlan`) that kills runs at checkpoint boundaries;
+- :mod:`repro.supervision.runner` — :class:`StagedPipeline`, the
+  checkpointed executor whose :meth:`~StagedPipeline.resume` replays the
+  journaled prefix and recomputes only downstream stages;
+- :mod:`repro.supervision.supervisor` — :class:`Supervisor`, the
+  restart-with-resume loop guarded by the reliability layer's
+  :class:`~repro.reliability.retry.CircuitBreaker`.
+
+The invariant everything here is tested against: a run recovered from any
+combination of worker-chunk faults (crash/hang/poison, see
+:mod:`repro.reliability.workerfaults`) and inter-stage crashes produces a
+condensed distance matrix and signature set **byte-identical** to the
+fault-free run with the same seed and configuration.
+"""
+
+from repro.supervision.checkpoint import CheckpointStore, JournalEntry, checkpoint_key
+from repro.supervision.crash import CrashPlan, InjectedCrash
+from repro.supervision.runner import (
+    PIPELINE_STAGES,
+    StagedPipeline,
+    StagedResult,
+    config_fingerprint,
+)
+from repro.supervision.supervisor import SupervisedResult, Supervisor
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "CheckpointStore",
+    "CrashPlan",
+    "InjectedCrash",
+    "JournalEntry",
+    "StagedPipeline",
+    "StagedResult",
+    "SupervisedResult",
+    "Supervisor",
+    "checkpoint_key",
+    "config_fingerprint",
+]

@@ -1,0 +1,286 @@
+"""The checkpointed, crash-injectable staged pipeline runner.
+
+:class:`StagedPipeline` executes the same seven stages as
+:class:`~repro.core.pipeline.DetectionPipeline` — collect, payload_check,
+sample, distance_matrix, linkage, cut, signature_gen — but journals every
+stage's output to a :class:`~repro.supervision.checkpoint.CheckpointStore`
+keyed by ``sha256(seed + config + stage)``.  A run killed between stages
+(by a real fault or an injected :class:`~repro.supervision.crash.CrashPlan`)
+is resumed with :meth:`StagedPipeline.resume`: completed stages replay
+from the journal (no span emitted, ``pipeline_stage_replayed`` counted),
+only downstream stages recompute.
+
+Determinism contract, asserted by tests and the pipeline chaos sweep: the
+final signatures, metrics, and condensed matrix of any resumed run are
+**bit-identical** to an uninterrupted run, and to a plain
+``DetectionPipeline.run`` with the same trace, config, and seed.
+
+The distance stage runs through :class:`~repro.distance.engine.DistanceEngine`
+and therefore composes with worker-pool fault tolerance: pass a
+:class:`~repro.reliability.workerfaults.WorkerFaultPlan` to exercise
+chunk-level crash/hang/poison recovery inside a checkpointed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.linkage import agglomerate
+from repro.core.pipeline import PipelineConfig
+from repro.dataset.split import sample_packets
+from repro.dataset.trace import Trace
+from repro.distance.engine import DistanceEngine, EngineStats
+from repro.distance.matrix import CondensedMatrix
+from repro.distance.packet import PacketDistance
+from repro.errors import SignatureError
+from repro.eval.metrics import DetectionMetrics, compute_metrics
+from repro.http.packet import HttpPacket
+from repro.obs import NULL_OBS, Observability
+from repro.reliability.retry import RetryPolicy
+from repro.reliability.workerfaults import WorkerFaultPlan
+from repro.sensitive.payload_check import PayloadCheck
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.generator import SignatureGenerator
+from repro.signatures.matcher import SignatureMatcher
+from repro.supervision.checkpoint import CheckpointStore, checkpoint_key
+from repro.supervision.crash import CrashPlan, InjectedCrash
+
+#: Stage order; each entry is one checkpoint boundary.
+PIPELINE_STAGES = (
+    "collect",
+    "payload_check",
+    "sample",
+    "distance_matrix",
+    "linkage",
+    "cut",
+    "signature_gen",
+)
+
+
+def config_fingerprint(config: PipelineConfig, n_sample: int) -> dict:
+    """A stable, JSON-ready identity of one run's policy.
+
+    Built from semantic fields only — object reprs that embed memory
+    addresses would break cross-process resume, and ``workers`` is
+    excluded because worker count never changes outputs (the engine's
+    bit-identity contract).
+    """
+    distance: PacketDistance = config.distance
+    return {
+        "distance": {
+            "destination_weight": distance.destination_weight,
+            "content_weight": distance.content_weight,
+            "compressor": distance.content.calculator.compressor.name,
+            "registry": distance.registry is not None,
+        },
+        "linkage": config.linkage.name,
+        "generator": repr(config.generator),
+        "n_sample": n_sample,
+    }
+
+
+@dataclass(slots=True)
+class StagedResult:
+    """One supervised run's outputs plus its execution ledger."""
+
+    n_sample: int
+    signatures: list[ConjunctionSignature]
+    metrics: DetectionMetrics
+    matrix: CondensedMatrix
+    stages_executed: list[str]
+    stages_replayed: list[str]
+    engine_stats: EngineStats | None
+
+
+class StagedPipeline:
+    """Checkpointed stage-by-stage execution of the detection pipeline.
+
+    :param trace: the full captured dataset.
+    :param payload_check: ground-truth labeler for the capture device.
+    :param config: policy knobs (defaults reproduce the paper).
+    :param store: checkpoint store; a fresh in-memory store by default.
+        Pass a directory-backed store for cross-process resume.
+    :param crash_plan: optional seeded between-stage crash injector.
+    :param fault_plan: optional chunk-level worker fault injector for the
+        distance stage.
+    :param retry: chunk re-dispatch policy when ``fault_plan`` is set.
+    :param chunk_pairs: pairs per distance-engine chunk (engine default
+        when omitted); chaos sweeps shrink it so a run spans many chunks
+        and fault injection actually bites.
+    :param obs: optional observability bundle.  Executed stages emit the
+        same span names as the unsupervised pipeline; replayed stages emit
+        none, which is what lets tests assert "resume recomputed only
+        downstream stages" from span counts alone.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        payload_check: PayloadCheck,
+        config: PipelineConfig | None = None,
+        *,
+        store: CheckpointStore | None = None,
+        crash_plan: CrashPlan | None = None,
+        fault_plan: WorkerFaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        chunk_pairs: int | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.trace = trace
+        self.payload_check = payload_check
+        self.config = config or PipelineConfig()
+        # `store or ...` would discard a passed-in *empty* store (len() == 0
+        # is falsy), so test explicitly for None.
+        self.store = store if store is not None else CheckpointStore()
+        self.crash_plan = crash_plan
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.chunk_pairs = chunk_pairs
+        self.obs = obs or NULL_OBS
+        self.last_engine_stats: EngineStats | None = None
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, n_sample: int, seed: int = 0) -> StagedResult:
+        """Execute all stages, checkpointing each output.
+
+        Stages already journaled (e.g. by a previous partial run against
+        the same store) replay instead of recomputing — :meth:`run` and
+        :meth:`resume` share that semantics; ``resume`` exists to make
+        restart intent explicit at call sites.
+
+        :raises InjectedCrash: when ``crash_plan`` kills the run between
+            stages; everything completed so far is in :attr:`store`.
+        """
+        return self._execute(n_sample, seed)
+
+    def resume(self, n_sample: int, seed: int = 0) -> StagedResult:
+        """Restart after a crash: replay the journaled prefix, recompute the rest."""
+        return self._execute(n_sample, seed)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _execute(self, n_sample: int, seed: int) -> StagedResult:
+        if n_sample <= 0:
+            raise SignatureError(f"sample size must be positive, got {n_sample}")
+        fingerprint = config_fingerprint(self.config, n_sample)
+        executed: list[str] = []
+        replayed: list[str] = []
+
+        def stage(name: str, compute, **span_attrs):
+            key = checkpoint_key(seed, fingerprint, name)
+            cached = self.store.load(key)
+            if cached is not None:
+                replayed.append(name)
+                self.obs.inc("pipeline_stage_replayed")
+                return cached
+            with self.obs.span(name, track="pipeline", **span_attrs):
+                value = compute()
+            self.store.save(key, name, value)
+            executed.append(name)
+            self.obs.inc("pipeline_stage_executed")
+            if self.crash_plan is not None and self.crash_plan.should_crash(name):
+                self.obs.inc("pipeline_injected_crashes")
+                raise InjectedCrash(name)
+            return value
+
+        packets: list[HttpPacket] = stage("collect", self._collect)
+        suspicious, normal = stage("payload_check", lambda: self._payload_check(packets))
+        if not suspicious:
+            raise SignatureError("no suspicious packets in trace; nothing to cluster")
+        sample_size = min(n_sample, len(suspicious))
+        sample: list[HttpPacket] = stage(
+            "sample",
+            lambda: self._sample(suspicious, sample_size, seed),
+            n_sample=sample_size,
+            seed=seed,
+        )
+        matrix: CondensedMatrix = stage(
+            "distance_matrix",
+            lambda: self._distance_matrix(sample),
+            n_items=len(sample),
+            n_pairs=len(sample) * (len(sample) - 1) // 2,
+        )
+        dendrogram: Dendrogram = stage(
+            "linkage", lambda: self._linkage(matrix), n_items=matrix.n
+        )
+        generator = SignatureGenerator(self.config.generator)
+        clusters = stage("cut", lambda: self._cut(generator, dendrogram, sample))
+        signatures: list[ConjunctionSignature] = stage(
+            "signature_gen", lambda: self._signature_gen(generator, clusters)
+        )
+
+        with self.obs.span("eval", track="pipeline") as eval_span:
+            matcher = SignatureMatcher(signatures)
+            metrics = compute_metrics(
+                matcher=matcher,
+                suspicious=suspicious,
+                normal=normal,
+                n_sample=len(sample),
+                training_sample=sample,
+            )
+            self.obs.advance(len(suspicious) + len(normal))
+            if eval_span is not None:
+                eval_span.attrs["tp_percent"] = metrics.tp_percent
+                eval_span.attrs["fp_percent"] = metrics.fp_percent
+        self.obs.inc("pipeline_supervised_runs")
+        return StagedResult(
+            n_sample=len(sample),
+            signatures=signatures,
+            metrics=metrics,
+            matrix=matrix,
+            stages_executed=executed,
+            stages_replayed=replayed,
+            engine_stats=self.last_engine_stats,
+        )
+
+    # -- stage bodies -------------------------------------------------------------
+
+    def _collect(self) -> list[HttpPacket]:
+        packets = list(self.trace)
+        self.obs.advance(len(packets))
+        return packets
+
+    def _payload_check(
+        self, packets: list[HttpPacket]
+    ) -> tuple[list[HttpPacket], list[HttpPacket]]:
+        suspicious, normal = self.payload_check.split(Trace(packets))
+        self.obs.advance(len(suspicious) + len(normal))
+        return suspicious, normal
+
+    def _sample(
+        self, suspicious: list[HttpPacket], sample_size: int, seed: int
+    ) -> list[HttpPacket]:
+        sample = sample_packets(suspicious, sample_size, seed=seed)
+        self.obs.advance(len(sample))
+        return sample
+
+    def _distance_matrix(self, sample: list[HttpPacket]) -> CondensedMatrix:
+        kwargs = {} if self.chunk_pairs is None else {"chunk_pairs": self.chunk_pairs}
+        engine = DistanceEngine(
+            self.config.distance,
+            workers=self.config.workers,
+            obs=self.obs,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+            **kwargs,
+        )
+        matrix = engine.matrix(sample)
+        self.last_engine_stats = engine.stats
+        return matrix
+
+    def _linkage(self, matrix: CondensedMatrix) -> Dendrogram:
+        dendrogram = agglomerate(matrix, self.config.linkage)
+        self.obs.advance(max(0, matrix.n - 1))
+        return dendrogram
+
+    def _cut(self, generator, dendrogram, sample: list[HttpPacket]):
+        clusters = generator.clusters_from_dendrogram(dendrogram, sample)
+        self.obs.advance(len(clusters))
+        return clusters
+
+    def _signature_gen(self, generator, clusters) -> list[ConjunctionSignature]:
+        signatures = generator.from_clusters(clusters)
+        self.obs.advance(sum(len(cluster) for cluster in clusters))
+        return signatures

@@ -223,6 +223,41 @@ class TestChaos:
         assert main(["chaos", "--rates", "zero,half"]) == 2
         assert "comma-separated" in capsys.readouterr().err
 
+    def test_pipeline_target_renders_and_exits_zero(self, capsys):
+        code = main(
+            [
+                "chaos", "--target", "pipeline", "--apps", "30", "--seed", "1",
+                "--sample", "20", "--rates", "0,0.4",
+            ]
+        )
+        assert code == 0  # exit status IS the recovery-invariant verdict
+        out = capsys.readouterr().out
+        assert "supervised pipeline" in out
+        assert "invariant: holds" in out
+
+    def test_pipeline_target_json_reports_invariant(self, capsys):
+        code = main(
+            [
+                "chaos", "--target", "pipeline", "--apps", "30", "--seed", "1",
+                "--sample", "20", "--rates", "0.3", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "chaos_pipeline"
+        assert data["invariant_holds"] is True
+        point = data["points"][0]
+        assert point["recovered"] is True
+        assert point["matrix_identical"] is True
+        assert point["signatures_identical"] is True
+        assert point["crash_stages"] == ["payload_check", "distance_matrix", "cut"]
+
+    def test_pipeline_target_rejects_unknown_stage(self, capsys):
+        assert (
+            main(["chaos", "--target", "pipeline", "--crash-stages", "collect,warp"]) == 2
+        )
+        assert "warp" in capsys.readouterr().err
+
 
 class TestServe:
     def test_quick_serve_writes_report(self, tmp_path, capsys):

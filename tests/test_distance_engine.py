@@ -186,6 +186,26 @@ class TestErrorPaths:
             built.values, distance_matrix([0.0, 1.0, 3.0, 8.0, 2.0], abs_metric).values
         )
 
+    def test_unpicklable_fallback_reason_is_surfaced(self):
+        # Regression: the fallback used to be silent about *why*; now the
+        # machine-readable reason, the exception detail, and an obs
+        # counter all record it.
+        from repro.obs import Observability
+
+        obs = Observability.create(seed=0)
+        engine = DistanceEngine(lambda a, b: abs(a - b), workers=2, chunk_pairs=4, obs=obs)
+        engine.matrix([0.0, 1.0, 3.0, 8.0, 2.0])
+        assert engine.stats.fallback == "unpicklable_metric"
+        assert engine.stats.fallback_detail  # carries the pickle error text
+        assert obs.counter("engine_fallback_unpicklable") == 1
+        assert engine.stats.to_dict()["fallback"] == "unpicklable_metric"
+
+    def test_picklable_metric_sets_no_fallback(self):
+        engine = DistanceEngine(abs_metric, workers=2, chunk_pairs=4)
+        engine.matrix([0.0, 1.0, 3.0, 8.0, 2.0])
+        assert engine.stats.fallback is None
+        assert engine.stats.fallback_detail is None
+
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(DistanceError):
             DistanceEngine(abs_metric, workers=-1)

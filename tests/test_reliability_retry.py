@@ -44,6 +44,35 @@ class TestRetryPolicy:
         with pytest.raises(SimulationError):
             RetryPolicy().backoff(-1, Random(0))
 
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    @pytest.mark.parametrize("jitter", [0.0, 0.1, 0.25, 0.5, 0.99])
+    def test_same_seed_same_schedule(self, seed, jitter):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.5, multiplier=3.0, jitter=jitter)
+        assert policy.schedule(Random(seed)) == policy.schedule(Random(seed))
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.1, 0.25, 0.5, 0.99])
+    def test_delay_always_within_hard_bounds(self, jitter):
+        # Property sweep: for every retry index the delay stays within
+        # [0, max_delay * (1 + jitter)] no matter what the rng draws.
+        policy = RetryPolicy(
+            max_attempts=32, base_delay=2.0, multiplier=2.5, max_delay=40.0, jitter=jitter
+        )
+        ceiling = policy.max_delay * (1.0 + jitter)
+        rng = Random(99)
+        for retry_index in range(31):
+            for __ in range(50):
+                delay = policy.backoff(retry_index, rng)
+                assert 0.0 <= delay <= ceiling, (
+                    f"delay {delay} outside [0, {ceiling}] at retry {retry_index}"
+                )
+
+    def test_unjittered_delay_is_pure_function_of_index(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.5, multiplier=2.0,
+                             max_delay=100.0, jitter=0.0)
+        for retry_index in range(9):
+            expected = min(100.0, 1.5 * 2.0**retry_index)
+            assert policy.backoff(retry_index, Random(0)) == expected
+
 
 class TestCircuitBreaker:
     def test_stays_closed_below_threshold(self):
@@ -97,6 +126,36 @@ class TestCircuitBreaker:
         with pytest.raises(SimulationError):
             CircuitBreaker(cooldown=-1.0)
 
+    def test_allow_transitions_open_to_half_open_exactly_at_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        # one tick early: still open, no probe admitted
+        assert breaker.state(9.999) is BreakerState.OPEN
+        assert not breaker.allow(9.999)
+        # at the boundary: half-open, and allow() latches the transition
+        assert breaker.state(10.0) is BreakerState.HALF_OPEN
+        assert breaker.allow(10.0)
+        assert breaker.state(10.0) is BreakerState.HALF_OPEN
+
+    def test_half_open_keeps_admitting_until_verdict(self):
+        # Half-open is not a one-shot gate: until the probe reports
+        # success or failure, further calls are admitted too.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        assert breaker.allow(6.0)
+        assert breaker.state(6.0) is BreakerState.HALF_OPEN
+
+    def test_half_open_failure_restarts_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)  # trips at tick 1
+        assert breaker.allow(11.0)  # probe admitted half-open
+        breaker.record_failure(11.0)  # probe fails -> reopen at tick 11
+        assert not breaker.allow(20.0)  # 9 ticks in: still cooling down
+        assert breaker.allow(21.0)  # full cooldown from the reopen
+        assert breaker.trips == 2
+
 
 class TestQuarantine:
     def test_counts_by_reason(self):
@@ -125,3 +184,23 @@ class TestQuarantine:
         assert not Quarantine()
         with pytest.raises(SimulationError):
             Quarantine(capacity=0)
+
+    def test_eviction_is_oldest_first(self):
+        # At capacity the buffer behaves as a FIFO: each new record evicts
+        # exactly the oldest one, preserving arrival order of the rest.
+        quarantine = Quarantine(capacity=3)
+        for index in range(3):
+            quarantine.add(ValueError(f"rec-{index}"), payload=index)
+        assert [record.error for record in quarantine.records] == [
+            "rec-0", "rec-1", "rec-2",
+        ]
+        quarantine.add(ValueError("rec-3"), payload=3)
+        assert [record.error for record in quarantine.records] == [
+            "rec-1", "rec-2", "rec-3",
+        ]
+        quarantine.add(ValueError("rec-4"), payload=4)
+        assert [record.error for record in quarantine.records] == [
+            "rec-2", "rec-3", "rec-4",
+        ]
+        # counting keeps including the evicted records
+        assert quarantine.total == 5

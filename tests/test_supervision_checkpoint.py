@@ -1,0 +1,97 @@
+"""Content-addressed checkpoint store: keys, verification, persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SupervisionError
+from repro.supervision.checkpoint import CheckpointStore, checkpoint_key
+
+
+class TestCheckpointKey:
+    def test_key_is_stable(self):
+        config = {"linkage": "GROUP_AVERAGE", "n_sample": 60}
+        assert checkpoint_key(0, config, "linkage") == checkpoint_key(0, config, "linkage")
+
+    def test_key_ignores_dict_ordering(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert checkpoint_key(3, a, "cut") == checkpoint_key(3, b, "cut")
+
+    def test_key_separates_seed_config_stage(self):
+        config = {"n_sample": 60}
+        base = checkpoint_key(0, config, "sample")
+        assert checkpoint_key(1, config, "sample") != base
+        assert checkpoint_key(0, {"n_sample": 61}, "sample") != base
+        assert checkpoint_key(0, config, "linkage") != base
+
+
+class TestInMemoryStore:
+    def test_save_load_roundtrip(self):
+        store = CheckpointStore()
+        key = checkpoint_key(0, {}, "sample")
+        store.save(key, "sample", [1, 2, 3])
+        assert store.load(key) == [1, 2, 3]
+        assert key in store
+        assert len(store) == 1
+        assert store.stages == ["sample"]
+
+    def test_missing_key_returns_none(self):
+        assert CheckpointStore().load("0" * 64) is None
+
+    def test_corrupt_payload_degrades_to_missing(self):
+        store = CheckpointStore()
+        key = checkpoint_key(0, {}, "linkage")
+        store.save(key, "linkage", {"a": 1})
+        store._blobs[key] = b"flipped bits"  # simulate memory corruption
+        assert store.load(key) is None
+        assert store.corrupt_detected == 1
+        assert key not in store  # evicted; the stage will recompute
+
+    def test_journal_records_completion_order(self):
+        store = CheckpointStore()
+        for stage in ("collect", "payload_check", "sample"):
+            store.save(checkpoint_key(0, {}, stage), stage, stage.upper())
+        assert store.stages == ["collect", "payload_check", "sample"]
+
+    def test_clear_forgets_everything(self):
+        store = CheckpointStore()
+        key = checkpoint_key(0, {}, "cut")
+        store.save(key, "cut", "x")
+        store.clear()
+        assert store.load(key) is None
+        assert len(store) == 0
+
+
+class TestDirectoryStore:
+    def test_blobs_and_journal_persisted(self, tmp_path):
+        store = CheckpointStore(root=tmp_path)
+        key = checkpoint_key(5, {"n": 1}, "sample")
+        store.save(key, "sample", {"v": 42})
+        assert (tmp_path / f"{key}.ckpt").exists()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["stage"] == "sample"
+
+    def test_fresh_process_resumes_from_disk(self, tmp_path):
+        key = checkpoint_key(5, {"n": 1}, "sample")
+        CheckpointStore(root=tmp_path).save(key, "sample", {"v": 42})
+        # a brand-new store object (fresh process) replays the journal
+        resumed = CheckpointStore(root=tmp_path)
+        assert resumed.stages == ["sample"]
+        assert resumed.load(key) == {"v": 42}
+
+    def test_bitflipped_blob_on_disk_degrades_to_recompute(self, tmp_path):
+        key = checkpoint_key(5, {}, "linkage")
+        CheckpointStore(root=tmp_path).save(key, "linkage", [1, 2])
+        blob = tmp_path / f"{key}.ckpt"
+        raw = bytearray(blob.read_bytes())
+        raw[0] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+        resumed = CheckpointStore(root=tmp_path)
+        assert resumed.load(key) is None
+        assert resumed.corrupt_detected == 1
+
+    def test_corrupt_journal_line_raises(self, tmp_path):
+        (tmp_path / "journal.jsonl").write_text("not json at all\n")
+        with pytest.raises(SupervisionError):
+            CheckpointStore(root=tmp_path)
