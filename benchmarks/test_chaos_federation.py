@@ -1,0 +1,114 @@
+"""Chaos bench — crowdsourced federation under byzantine device faults.
+
+The pipeline chaos bench asserts exact recovery from *infrastructure*
+faults; this one asserts the same byte-identity discipline against
+*adversarial input*: a fleet whose devices corrupt envelopes, replay
+history, flood duplicates, and fabricate observations (rates 0%–50%,
+spread across the whole :class:`~repro.federation.faults.DeviceFaultPlan`
+taxonomy) must still produce the byte-identical signature set of the
+fault-free same-seed fleet.
+
+Assertions:
+
+- at every swept rate the federated signature bytes and admitted-token
+  set equal the fault-free baseline (``invariant_holds``);
+- every honest report is accepted at every rate (faults cost retries,
+  never observations);
+- the upper half of the sweep is not vacuous: faults landed, rejections
+  were classified, and the quarantine ban/release cycle actually ran;
+- the sweep is deterministic (same seed, same points).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.chaos import render_federation_chaos, run_federation_chaos_sweep
+from repro.simulation.corpus import mini_corpus
+
+RATES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+SEED = 5
+N_DEVICES = 24
+REPORTS = 6
+MIN_SUPPORT = 2
+
+
+@pytest.fixture(scope="module")
+def chaos_corpus():
+    return mini_corpus(seed=SEED, n_apps=80)
+
+
+@pytest.fixture(scope="module")
+def sweep(chaos_corpus):
+    return run_federation_chaos_sweep(
+        chaos_corpus,
+        RATES,
+        n_devices=N_DEVICES,
+        reports_per_device=REPORTS,
+        min_support=MIN_SUPPORT,
+        seed=SEED,
+    )
+
+
+def test_byte_identity_at_every_rate(sweep, benchmark):
+    assert len(sweep) == len(RATES)
+    for point in sweep:
+        assert point.signatures_identical, (
+            f"signatures diverged from fault-free baseline at rate {point.fault_rate}"
+        )
+        assert point.tokens_identical, (
+            f"admitted tokens diverged at rate {point.fault_rate}"
+        )
+        assert point.invariant_holds
+
+
+def test_every_honest_report_accepted(sweep, benchmark):
+    # Faults cost retries and junk rejections — never honest observations.
+    # (Accepted counts exceed the honest floor when poison envelopes land;
+    # those die later, at the min-support gate.)
+    for point in sweep:
+        assert point.accepted >= N_DEVICES * REPORTS
+        assert point.n_signatures > 0
+
+
+def test_faults_actually_injected(sweep, benchmark):
+    # The zero-rate point must be clean ...
+    assert sweep[0].faults_injected == 0
+    assert sweep[0].rejected_malformed == 0
+    assert sweep[0].quarantine_bans == 0
+    assert sweep[0].sends == N_DEVICES * REPORTS
+    # ... and the upper half of the sweep must not be vacuous: every
+    # defense layer (validation, dedup, quarantine) saw real traffic.
+    high = [p for p in sweep if p.fault_rate >= 0.3]
+    assert sum(p.faults_injected for p in high) > 0
+    assert sum(p.rejected_malformed for p in high) > 0
+    assert sum(p.rejected_duplicate for p in high) > 0
+    assert sum(p.sends for p in high) > len(high) * N_DEVICES * REPORTS
+
+
+def test_quarantine_cycle_runs_under_flood(sweep, benchmark):
+    # At the highest rates flood bursts trip per-device breakers; the
+    # cooldown then re-admits every honest device (accepted floor above
+    # proves no observation was lost to a ban).
+    high = [p for p in sweep if p.fault_rate >= 0.4]
+    assert sum(p.quarantine_bans for p in high) > 0
+    assert sum(p.quarantine_releases for p in high) > 0
+    assert sum(p.rejected_quarantined for p in high) > 0
+
+
+def test_sweep_is_deterministic(chaos_corpus, sweep, benchmark):
+    again = run_federation_chaos_sweep(
+        chaos_corpus,
+        (0.0, 0.3),
+        n_devices=N_DEVICES,
+        reports_per_device=REPORTS,
+        min_support=MIN_SUPPORT,
+        seed=SEED,
+    )
+    matching = [p for p in sweep if p.fault_rate in (0.0, 0.3)]
+    assert again == matching
+
+
+def test_render_federation_chaos(sweep, benchmark):
+    text = render_federation_chaos(sweep)
+    assert "byte-identity invariant: holds" in text
+    emit("chaos_federation", text)

@@ -264,6 +264,25 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         # The exact-recovery invariant is the whole point of this sweep;
         # CI keys off the exit status.
         return 0 if all(point.invariant_holds for point in points) else 1
+    if args.target == "federation":
+        from repro.eval.chaos import (
+            federation_chaos_report,
+            render_federation_chaos,
+            run_federation_chaos_sweep,
+        )
+
+        points = run_federation_chaos_sweep(
+            corpus,
+            rates,
+            n_devices=args.devices,
+            reports_per_device=args.reports,
+            min_support=args.min_support,
+            seed=args.seed,
+        )
+        emit_report(args, render_federation_chaos(points), federation_chaos_report(points))
+        # Byte-identity under device faults is this sweep's invariant;
+        # CI keys off the exit status.
+        return 0 if all(point.invariant_holds for point in points) else 1
     from repro.eval.chaos import chaos_report, render_chaos, run_chaos_sweep
 
     points = run_chaos_sweep(
@@ -343,6 +362,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"wrote {args.out}")
     if args.telemetry and not args.json:
         print(f"wrote telemetry JSONL under {args.telemetry}/")
+    return 0 if report.ok else 1
+
+
+def cmd_federate(args: argparse.Namespace) -> int:
+    from repro.federation.bench import FederationBudget, run_federation_bench
+
+    if args.quick:
+        # Smoke configuration: a small fleet; the precision and purity
+        # gates still apply — only scale (and the throughput floor) shrinks.
+        n_apps = min(args.apps, 24)
+        n_devices = min(args.devices, 300)
+        single_reports = min(args.single_reports, 128)
+        budget = FederationBudget(min_throughput_per_s=None)
+    else:
+        n_apps, n_devices, single_reports = args.apps, args.devices, args.single_reports
+        budget = FederationBudget()
+    report = run_federation_bench(
+        n_apps=n_apps,
+        n_devices=n_devices,
+        reports_per_device=args.reports,
+        single_device_reports=single_reports,
+        min_support=args.min_support,
+        fault_rate=args.rate,
+        seed=args.seed,
+        n_shards=args.shards,
+        budget=budget,
+    )
+    emit_report(args, report.render(), report.to_dict())
+    if args.out:
+        report.save(args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
     return 0 if report.ok else 1
 
 
@@ -516,9 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("chaos", help="sweep fault rates over a target subsystem")
-    p.add_argument("--target", choices=("distribution", "pipeline"), default="distribution",
+    p.add_argument("--target", choices=("distribution", "pipeline", "federation"),
+                   default="distribution",
                    help="distribution = server->device channel faults; "
-                        "pipeline = supervised execution under worker + stage faults")
+                        "pipeline = supervised execution under worker + stage faults; "
+                        "federation = crowdsourced ingest under device faults")
     p.add_argument("--apps", type=int, default=80)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sample", type=int, default=60)
@@ -529,8 +582,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-stages", default="payload_check,distance_matrix,cut",
                    help="pipeline stages whose boundary gets an injected "
                         "crash, once each (--target pipeline only)")
+    p.add_argument("--reports", type=int, default=6,
+                   help="honest reports per device (--target federation only)")
+    p.add_argument("--min-support", type=int, default=2,
+                   help="k-anonymity gate (--target federation only)")
     add_json_flag(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "federate",
+        help="run the fleet-scale federation bench; emits BENCH_federation.json",
+    )
+    p.add_argument("--apps", type=int, default=48)
+    p.add_argument("--devices", type=int, default=10_000, help="fleet size")
+    p.add_argument("--reports", type=int, default=3, help="honest reports per device")
+    p.add_argument("--single-reports", type=int, default=384,
+                   help="reports for the single-device comparison arm")
+    p.add_argument("--min-support", type=int, default=3,
+                   help="k-anonymity gate for the fleet arm")
+    p.add_argument("--rate", type=float, default=0.2, help="injected device-fault rate")
+    p.add_argument("--shards", type=int, default=16, help="ingest shards")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true", help="smoke scale for CI")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_federate)
 
     p = sub.add_parser(
         "trace",

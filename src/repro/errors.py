@@ -107,5 +107,32 @@ class SupervisionError(ReproError):
     """
 
 
+class FederationError(ReproError):
+    """Crowdsourced fleet federation was configured or driven inconsistently.
+
+    Raised by :mod:`repro.federation` for invalid ingest/aggregation
+    configuration and for protocol violations that are programming errors
+    rather than byzantine input (those are rejected per-report with
+    :class:`ReportValidationError` and counted, never raised mid-batch).
+    """
+
+
+class ReportValidationError(FederationError):
+    """A device report envelope failed validation at ingest.
+
+    Carries a short machine-readable ``reason`` category — ``"schema"``,
+    ``"checksum"``, ``"version"`` — so the ingest layer can keep per-cause
+    rejection counters and trip per-device circuit breakers on it without
+    string-matching messages.
+
+    :param message: description of what failed.
+    :param reason: rejection category (defaults to ``"schema"``).
+    """
+
+    def __init__(self, message: str, reason: str = "schema") -> None:
+        self.reason = reason
+        super().__init__(message)
+
+
 class DatasetError(ReproError):
     """A trace or dataset file was malformed or inconsistent."""

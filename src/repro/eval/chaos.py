@@ -333,6 +333,174 @@ def run_pipeline_chaos_sweep(
     return points
 
 
+# -- federation chaos (crowdsourced ingest under device faults) --------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FederationChaosPoint:
+    """One device-fault rate's federation outcome vs the fault-free baseline.
+
+    The headline invariant is **byte-identity**: validation, the dedup
+    window, quarantine, and the k-anonymity min-support gate must absorb
+    every injected fault class so completely that the federated signature
+    set serializes to the same bytes as the fault-free same-seed run.
+    """
+
+    fault_rate: float
+    n_devices: int
+    sends: int
+    accepted: int
+    rejected_malformed: int
+    rejected_duplicate: int
+    rejected_replay: int
+    rejected_quarantined: int
+    shed: int
+    quarantine_bans: int
+    quarantine_releases: int
+    faults_injected: int
+    admitted_tokens: int
+    n_signatures: int
+    signatures_identical: bool
+    tokens_identical: bool
+
+    @property
+    def invariant_holds(self) -> bool:
+        """Byte-identical signatures AND an identical admitted-token set."""
+        return self.signatures_identical and self.tokens_identical
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_rate": self.fault_rate,
+            "n_devices": self.n_devices,
+            "sends": self.sends,
+            "accepted": self.accepted,
+            "rejected_malformed": self.rejected_malformed,
+            "rejected_duplicate": self.rejected_duplicate,
+            "rejected_replay": self.rejected_replay,
+            "rejected_quarantined": self.rejected_quarantined,
+            "shed": self.shed,
+            "quarantine_bans": self.quarantine_bans,
+            "quarantine_releases": self.quarantine_releases,
+            "faults_injected": self.faults_injected,
+            "admitted_tokens": self.admitted_tokens,
+            "n_signatures": self.n_signatures,
+            "signatures_identical": self.signatures_identical,
+            "tokens_identical": self.tokens_identical,
+            "invariant_holds": self.invariant_holds,
+        }
+
+
+def run_federation_chaos_sweep(
+    corpus,
+    rates: Sequence[float],
+    n_devices: int = 24,
+    reports_per_device: int = 6,
+    min_support: int = 2,
+    seed: int = 0,
+    obs=None,
+) -> list["FederationChaosPoint"]:
+    """Sweep device-fault rates over the crowdsourced federation round.
+
+    A fault-free :func:`~repro.federation.fleet.run_federation` run with
+    the same seed establishes the baseline signature bytes and admitted
+    token set; then each swept rate drives the same fleet through a
+    :class:`~repro.federation.faults.DeviceFaultPlan` spreading the rate
+    across malform / duplicate / replay / poison / flood.  Corpus, device
+    substreams, and honest sequence numbers are held fixed — only the
+    fault plan varies — so any byte drift is the federation layer's fault.
+
+    :param corpus: the simulated population devices report from.
+    :param rates: total device-fault rates to sweep (each in ``[0, 1)``).
+    :param n_devices: fleet size per point.
+    :param reports_per_device: honest observations per device.
+    :param min_support: the k-anonymity gate under test.
+    :param seed: determinism root shared by every point.
+    :param obs: optional observability bundle threaded into ingest.
+    """
+    from repro.federation.faults import DeviceFaultPlan
+    from repro.federation.fleet import run_federation
+
+    baseline = run_federation(
+        corpus,
+        seed=seed,
+        n_devices=n_devices,
+        reports_per_device=reports_per_device,
+        min_support=min_support,
+        obs=obs,
+    )
+    points: list[FederationChaosPoint] = []
+    for rate in rates:
+        # Seed derived from the rate itself (not its sweep position) so a
+        # point is reproducible regardless of which rates it is swept with.
+        point_seed = seed + 7919 * (1 + round(rate * 1000))
+        plan = DeviceFaultPlan.uniform(rate, seed=point_seed) if rate else None
+        result = run_federation(
+            corpus,
+            seed=seed,
+            n_devices=n_devices,
+            reports_per_device=reports_per_device,
+            min_support=min_support,
+            fault_plan=plan,
+            obs=obs,
+        )
+        counts = result.ingest_stats["counts"]
+        quarantine = result.ingest_stats["quarantine"]
+        points.append(
+            FederationChaosPoint(
+                fault_rate=rate,
+                n_devices=n_devices,
+                sends=result.sends,
+                accepted=result.ingest_stats["accepted"],
+                rejected_malformed=counts["rejected_malformed"],
+                rejected_duplicate=counts["rejected_duplicate"],
+                rejected_replay=counts["rejected_replay"],
+                rejected_quarantined=counts["rejected_quarantined"],
+                shed=counts["shed_dropped"] + counts["shed_degraded"],
+                quarantine_bans=quarantine["bans"],
+                quarantine_releases=quarantine["releases"],
+                faults_injected=sum(
+                    count for kind, count in result.fault_counts.items() if kind != "none"
+                ),
+                admitted_tokens=len(result.admitted_tokens),
+                n_signatures=len(result.signatures),
+                signatures_identical=result.signature_bytes == baseline.signature_bytes,
+                tokens_identical=result.admitted_tokens == baseline.admitted_tokens,
+            )
+        )
+    return points
+
+
+def federation_chaos_report(points: Sequence["FederationChaosPoint"]) -> dict:
+    """The sweep as one JSON document (``repro chaos --target federation --json``)."""
+    return {
+        "bench": "chaos_federation",
+        "n_points": len(points),
+        "invariant_holds": all(point.invariant_holds for point in points),
+        "points": [point.to_dict() for point in points],
+    }
+
+
+def render_federation_chaos(points: Sequence["FederationChaosPoint"]) -> str:
+    """A fixed-width table of the federation sweep."""
+    lines = [
+        "Chaos sweep — crowdsourced federation under device faults",
+        f"{'fault%':>7} {'sends':>6} {'accept':>7} {'malfrm':>7} {'dup':>6} "
+        f"{'replay':>7} {'quar':>5} {'bans':>5} {'tokens':>7} {'sigs':>5}",
+    ]
+    for point in points:
+        lines.append(
+            f"{100 * point.fault_rate:>6.0f}% "
+            f"{point.sends:>6d} {point.accepted:>7d} {point.rejected_malformed:>7d} "
+            f"{point.rejected_duplicate:>6d} {point.rejected_replay:>7d} "
+            f"{point.rejected_quarantined:>5d} {point.quarantine_bans:>5d} "
+            f"{point.admitted_tokens:>7d} "
+            f"{'=' if point.invariant_holds else '!':>5}"
+        )
+    verdict = "holds" if all(p.invariant_holds for p in points) else "VIOLATED"
+    lines.append(f"byte-identity invariant: {verdict} across {len(points)} points")
+    return "\n".join(lines)
+
+
 def pipeline_chaos_report(points: Sequence[PipelineChaosPoint]) -> dict:
     """The sweep as one JSON-ready document (``repro chaos --target pipeline --json``)."""
     return {

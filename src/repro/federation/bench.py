@@ -1,0 +1,300 @@
+"""The fleet-scale federation bench behind ``repro federate``.
+
+Two arms over the same corpus and the same injected fault mix:
+
+- **fleet** — 10\\ :sup:`4`-device federation with the k-anonymity
+  min-support gate; the arm that measures ingest throughput at scale;
+- **single** — one heavily-instrumented lab device (the paper's original
+  capture shape) with ``min_support=1``, i.e. no crowd to corroborate
+  against, so fabricated poison observations flow straight into its
+  signature material.
+
+The report compares the arms on **precision** (signature screening over
+the labelled corpus: flagged-suspicious / flagged-anything) and
+**material purity** (fraction of signature material that is genuine
+observed traffic rather than adversarial fabrication).  The budget fails
+CI when federation stops paying for itself: federated precision must
+match or beat the single device and federated material must be 100 %
+genuine — the k-gate's whole job.
+
+Output mirrors ``BENCH_serving.json``: ``to_dict()`` / ``render()`` /
+``save()`` plus budget violations that drive the CI exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.eval.perf import cpu_count
+from repro.federation.aggregate import InMemorySupportStore
+from repro.federation.faults import DeviceFaultPlan
+from repro.federation.fleet import FederationResult, run_federation
+from repro.federation.ingest import IngestConfig
+from repro.http.packet import HttpPacket
+from repro.signatures.matcher import SignatureMatcher
+from repro.simulation.corpus import Corpus, build_corpus
+
+
+@dataclass(frozen=True, slots=True)
+class FederationBudget:
+    """Gates the federation bench enforces (``None`` disables a gate).
+
+    :param min_precision_gain: floor on ``federated - single`` precision
+        (``0.0`` = federation must match or beat the single device).
+    :param require_pure_material: demand zero fabricated packets in the
+        federated arm's signature material.
+    :param min_throughput_per_s: floor on fleet-arm wall-clock ingest
+        throughput (submissions per second).
+    """
+
+    min_precision_gain: float | None = 0.0
+    require_pure_material: bool = True
+    min_throughput_per_s: float | None = 500.0
+
+    def violations(self, report: "FederationReport") -> list[str]:
+        found: list[str] = []
+        fleet = report.arm("fleet")
+        single = report.arm("single")
+        if fleet is None or single is None:
+            return ["bench did not produce both arms"]
+        if self.min_precision_gain is not None:
+            gain = fleet["precision"] - single["precision"]
+            if gain < self.min_precision_gain - 1e-9:
+                found.append(
+                    f"federated precision {fleet['precision']:.4f} fell below "
+                    f"single-device {single['precision']:.4f} "
+                    f"(gain {gain:+.4f} < {self.min_precision_gain:+.4f})"
+                )
+        if self.require_pure_material and fleet["material_fabricated"] > 0:
+            found.append(
+                f"k-gate leaked {fleet['material_fabricated']} fabricated "
+                "packets into federated signature material"
+            )
+        if (
+            self.min_throughput_per_s is not None
+            and fleet["throughput_per_s"] < self.min_throughput_per_s
+        ):
+            found.append(
+                f"fleet ingest throughput {fleet['throughput_per_s']:.0f}/s "
+                f"< {self.min_throughput_per_s:.0f}/s"
+            )
+        if fleet["accepted"] == 0:
+            found.append("fleet arm accepted no reports")
+        if fleet["admitted_tokens"] == 0:
+            found.append("k-gate admitted no tokens at fleet scale")
+        return found
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "min_precision_gain": self.min_precision_gain,
+            "require_pure_material": self.require_pure_material,
+            "min_throughput_per_s": self.min_throughput_per_s,
+        }
+
+
+@dataclass(slots=True)
+class FederationReport:
+    """One federation bench run, ready for ``BENCH_federation.json``."""
+
+    n_apps: int
+    seed: int
+    fault_rate: float
+    min_support: int
+    arms: list[dict[str, Any]] = field(default_factory=list)
+    budget: dict[str, Any] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    def arm(self, name: str) -> dict[str, Any] | None:
+        for arm in self.arms:
+            if arm["name"] == name:
+                return arm
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": "federation",
+            "corpus": {"n_apps": self.n_apps, "seed": self.seed},
+            "fault_rate": self.fault_rate,
+            "min_support": self.min_support,
+            "cpu_count": cpu_count(),
+            "arms": self.arms,
+            "budget": self.budget,
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def render(self) -> str:
+        """Fixed-width human summary, in the repo's report style."""
+        lines = [
+            "Federation bench — crowdsourced ingest + k-anonymity min-support",
+            f"  corpus apps={self.n_apps} seed={self.seed} "
+            f"fault_rate={self.fault_rate:.2f} k={self.min_support}",
+            f"  {'arm':<8} {'devices':>8} {'sends':>8} {'accepted':>9} "
+            f"{'tokens':>7} {'sigs':>5} {'precision':>10} {'purity':>7} {'thru/s':>9}",
+        ]
+        for arm in self.arms:
+            purity = 1.0 - (
+                arm["material_fabricated"] / arm["material_size"]
+                if arm["material_size"]
+                else 0.0
+            )
+            lines.append(
+                f"  {arm['name']:<8} {arm['n_devices']:>8d} {arm['sends']:>8d} "
+                f"{arm['accepted']:>9d} {arm['admitted_tokens']:>7d} "
+                f"{arm['n_signatures']:>5d} {arm['precision']:>10.4f} "
+                f"{purity:>7.3f} {arm['throughput_per_s']:>9.0f}"
+            )
+        fleet = self.arm("fleet")
+        if fleet is not None:
+            quarantine = fleet["ingest"]["quarantine"]
+            counts = fleet["ingest"]["counts"]
+            lines.append(
+                f"  fleet: dedup rejects={counts['rejected_duplicate']} "
+                f"replays={counts['rejected_replay']} "
+                f"malformed={counts['rejected_malformed']} "
+                f"quarantine bans={quarantine['bans']} releases={quarantine['releases']}"
+            )
+        if self.violations:
+            lines.append("  BUDGET VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  budget: ok")
+        return "\n".join(lines)
+
+
+def _precision(
+    signatures: list, suspicious: list[HttpPacket], negatives: list[HttpPacket]
+) -> float:
+    """Flagged-suspicious over flagged-anything.
+
+    ``negatives`` is the labelled normal traffic **plus the adversarial
+    fabrication pool** — the byzantine devices' accepted lies.  A set
+    whose signatures fire on fabrications is paying the poison tax (user
+    prompts on traffic no honest device produces); the k-gate exists to
+    zero that term.  An empty or nothing-flagging signature set scores 0
+    — a bench arm that detects nothing must not win on a technicality.
+    """
+    matcher = SignatureMatcher(signatures)
+    flagged_true = sum(1 for packet in suspicious if matcher.match(packet).matched)
+    flagged_false = sum(1 for packet in negatives if matcher.match(packet).matched)
+    flagged = flagged_true + flagged_false
+    return flagged_true / flagged if flagged else 0.0
+
+
+def _arm_dict(
+    name: str,
+    result: FederationResult,
+    wall_s: float,
+    suspicious: list[HttpPacket],
+    negatives: list[HttpPacket],
+) -> dict[str, Any]:
+    """Summarize one bench arm for the report."""
+    fabricated = sum(1 for packet in result.material if packet.meta.get("fabricated"))
+    return {
+        "name": name,
+        "n_devices": result.n_devices,
+        "reports_per_device": result.reports_per_device,
+        "min_support": result.min_support,
+        "sends": result.sends,
+        "accepted": result.ingest_stats["accepted"],
+        "admitted_tokens": len(result.admitted_tokens),
+        "material_size": result.material_size,
+        "material_fabricated": fabricated,
+        "n_signatures": len(result.signatures),
+        "precision": round(_precision(result.signatures, suspicious, negatives), 4),
+        "final_tick": round(result.final_tick, 2),
+        "wall_s": round(wall_s, 4),
+        "throughput_per_s": round(result.sends / wall_s, 1) if wall_s else 0.0,
+        "ingest": result.ingest_stats,
+        "aggregate": result.aggregate_stats,
+        "faults": result.fault_counts,
+    }
+
+
+def run_federation_bench(
+    *,
+    n_apps: int = 48,
+    n_devices: int = 10_000,
+    reports_per_device: int = 3,
+    single_device_reports: int = 384,
+    min_support: int = 3,
+    fault_rate: float = 0.2,
+    seed: int = 0,
+    n_shards: int = 16,
+    budget: FederationBudget | None = None,
+    corpus: Corpus | None = None,
+) -> FederationReport:
+    """Run the fleet and single-device arms and compare them.
+
+    Both arms face the same uniform fault mix at ``fault_rate``; the
+    fleet arm gets the k-gate, the single device cannot have one
+    (``min_support=1`` — there is no crowd).  Deterministic apart from
+    wall-clock timings.
+    """
+    budget = budget or FederationBudget()
+    corpus = corpus or build_corpus(n_apps=n_apps, seed=seed)
+    check = corpus.payload_check()
+    suspicious, normal = check.split(corpus.trace)
+
+    report = FederationReport(
+        n_apps=corpus.n_apps,
+        seed=seed,
+        fault_rate=fault_rate,
+        min_support=min_support,
+        budget=budget.to_dict(),
+    )
+
+    arms = (
+        (
+            "fleet",
+            dict(
+                n_devices=n_devices,
+                reports_per_device=reports_per_device,
+                min_support=min_support,
+                fault_plan=DeviceFaultPlan.uniform(fault_rate, seed=seed + 1),
+                ingest_config=IngestConfig(n_shards=n_shards),
+                store=InMemorySupportStore(exemplars_per_token=2),
+            ),
+        ),
+        (
+            "single",
+            dict(
+                n_devices=1,
+                reports_per_device=single_device_reports,
+                min_support=1,
+                fault_plan=DeviceFaultPlan.uniform(fault_rate, seed=seed + 1),
+                ingest_config=IngestConfig(n_shards=n_shards),
+                store=InMemorySupportStore(exemplars_per_token=2),
+            ),
+        ),
+    )
+    runs: list[tuple[str, Any, float]] = []
+    for name, kwargs in arms:
+        started = time.perf_counter()
+        result = run_federation(corpus, seed=seed, **kwargs)
+        runs.append((name, result, time.perf_counter() - started))
+
+    # Both arms screen the same world: labelled corpus traffic plus every
+    # fabrication byzantine devices slipped past validation in either arm.
+    fabricated_pool: list[HttpPacket] = []
+    for _, result, _ in runs:
+        fabricated_pool.extend(result.fabricated_pool)
+    negatives = normal + fabricated_pool
+    for name, result, wall_s in runs:
+        report.arms.append(_arm_dict(name, result, wall_s, suspicious, negatives))
+
+    report.violations = budget.violations(report)
+    return report

@@ -12,6 +12,19 @@ benches rely on.
 A :class:`LoadProfile` shapes the stream: the mean interarrival sets the
 offered load, and an optional burst window compresses interarrivals by
 ``burst_factor`` to push the gateway into overload for shedding tests.
+
+Two stream shapes exist:
+
+- :meth:`FleetLoadGenerator.events` — the original single interleaved
+  stream (one shared RNG draws interarrivals and attributes packets to
+  devices), used by the gateway benches;
+- :meth:`FleetLoadGenerator.device_events` — one device's **independent
+  substream**, derived from a child RNG keyed by the device id alone, so
+  the stream for ``device-00003`` is a pure function of
+  ``(corpus, profile, seed, device id)``: growing the fleet from 10 to
+  10\\ :sup:`4` devices never perturbs any existing device's packets or
+  ticks.  :meth:`FleetLoadGenerator.fleet_events` merges those substreams
+  into one tick-ordered arrival stream — the federation ingest workload.
 """
 
 from __future__ import annotations
@@ -86,13 +99,25 @@ class FleetLoadGenerator:
     :param seed: determinism root for interarrivals and device choice
         (independent of the corpus seed, so the same corpus can be
         replayed under many load shapes).
+    :param packets: optional replacement packet pool; when given, events
+        draw from it instead of the full trace.  Federation uses this to
+        replay only the locally-flagged suspicious pool — the packets a
+        real fleet device would actually report.
     """
 
-    def __init__(self, corpus: Corpus, profile: LoadProfile | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        corpus: Corpus,
+        profile: LoadProfile | None = None,
+        seed: int = 0,
+        *,
+        packets: list[HttpPacket] | None = None,
+    ) -> None:
         self.corpus = corpus
         self.profile = profile or LoadProfile()
         self.seed = seed
-        if not len(corpus.trace):
+        self._packets = list(packets) if packets is not None else list(corpus.trace.packets)
+        if not self._packets:
             raise SimulationError("cannot generate load from an empty trace")
 
     def events(self, n_events: int | None = None) -> list[ScreeningEvent]:
@@ -101,7 +126,7 @@ class FleetLoadGenerator:
         The trace is cycled when ``n_events`` exceeds its length, so a
         small corpus can still drive a long-running serving scenario.
         """
-        packets = self.corpus.trace.packets
+        packets = self._packets
         if n_events is None:
             n_events = len(packets)
         if n_events < 1:
@@ -118,3 +143,60 @@ class FleetLoadGenerator:
             device = f"device-{rng.randrange(profile.n_devices):03d}"
             events.append(ScreeningEvent(seq=seq, tick=tick, device_id=device, packet=packet))
         return events
+
+    # -- per-device substreams (seed-stable under fleet growth) -------------------
+
+    @staticmethod
+    def device_id(device_index: int) -> str:
+        """The canonical fleet device id for ``device_index`` (0-based)."""
+        return f"device-{device_index:05d}"
+
+    def device_events(self, device_index: int, n_events: int) -> list[ScreeningEvent]:
+        """One device's independent arrival substream.
+
+        Everything about the substream — which trace packets the device
+        replays and when — comes from a child RNG derived from
+        ``(seed, device id)``, never from a fleet-shared RNG.  The
+        resulting guarantee is the one fleet simulations need: adding or
+        removing *other* devices, or generating their streams first, can
+        never shift this device's stream.  ``seq`` here is the device-local
+        report index (0-based); the merged fleet stream renumbers globally.
+        """
+        if device_index < 0:
+            raise SimulationError(f"device_index must be >= 0, got {device_index}")
+        if n_events < 1:
+            raise SimulationError("n_events must be positive")
+        device = self.device_id(device_index)
+        rng = derive_rng(self.seed, "fleet-device", device)
+        packets = self._packets
+        profile = self.profile
+        events: list[ScreeningEvent] = []
+        tick = 0.0
+        for seq in range(n_events):
+            mean = profile.mean_interarrival_ticks
+            if profile.in_burst(tick):
+                mean /= profile.burst_factor
+            tick += rng.expovariate(1.0 / mean)
+            packet = packets[rng.randrange(len(packets))]
+            events.append(ScreeningEvent(seq=seq, tick=tick, device_id=device, packet=packet))
+        return events
+
+    def fleet_events(self, n_devices: int, events_per_device: int) -> list[ScreeningEvent]:
+        """All devices' substreams merged into one tick-ordered stream.
+
+        Ties break on ``(tick, device_id, device-local seq)`` so the merge
+        is total and deterministic; ``seq`` is renumbered globally over the
+        merged order.  Because each substream is independent, the merged
+        stream for ``n_devices + 1`` devices is the ``n_devices`` stream
+        with the new device's events spliced in — nothing else moves.
+        """
+        if n_devices < 1:
+            raise SimulationError("need at least one device")
+        merged: list[ScreeningEvent] = []
+        for device_index in range(n_devices):
+            merged.extend(self.device_events(device_index, events_per_device))
+        merged.sort(key=lambda event: (event.tick, event.device_id, event.seq))
+        return [
+            ScreeningEvent(seq=seq, tick=event.tick, device_id=event.device_id, packet=event.packet)
+            for seq, event in enumerate(merged)
+        ]

@@ -258,6 +258,36 @@ class TestChaos:
         )
         assert "warp" in capsys.readouterr().err
 
+    def test_federation_target_renders_and_exits_zero(self, capsys):
+        code = main(
+            [
+                "chaos", "--target", "federation", "--apps", "30", "--seed", "1",
+                "--devices", "8", "--reports", "4", "--min-support", "2",
+                "--rates", "0,0.4",
+            ]
+        )
+        assert code == 0  # exit status IS the byte-identity verdict
+        out = capsys.readouterr().out
+        assert "crowdsourced federation" in out
+        assert "byte-identity invariant: holds" in out
+
+    def test_federation_target_json_reports_invariant(self, capsys):
+        code = main(
+            [
+                "chaos", "--target", "federation", "--apps", "30", "--seed", "1",
+                "--devices", "8", "--reports", "4", "--min-support", "2",
+                "--rates", "0.3", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "chaos_federation"
+        assert data["invariant_holds"] is True
+        point = data["points"][0]
+        assert point["signatures_identical"] is True
+        assert point["tokens_identical"] is True
+        assert point["faults_injected"] > 0
+
 
 class TestServe:
     def test_quick_serve_writes_report(self, tmp_path, capsys):
@@ -302,6 +332,35 @@ class TestBench:
         assert data["identical"] is True
         assert data["workers"] == 2
         assert data["violations"] == []
+
+
+class TestFederate:
+    @pytest.fixture(scope="class")
+    def quick_run(self, tmp_path_factory):
+        # One quick bench shared by the class: the smoke-scale arms still
+        # take a few seconds each.
+        out = tmp_path_factory.mktemp("federate") / "BENCH_federation.json"
+        code = main(["federate", "--quick", "--out", str(out), "--json"])
+        return code, out
+
+    def test_quick_federate_writes_report(self, quick_run):
+        code, out = quick_run
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["bench"] == "federation"
+        assert data["violations"] == []
+        assert {arm["name"] for arm in data["arms"]} == {"fleet", "single"}
+
+    def test_quick_federate_report_shape(self, quick_run):
+        __, out = quick_run
+        data = json.loads(out.read_text())
+        assert data["ok"] is True
+        fleet = next(arm for arm in data["arms"] if arm["name"] == "fleet")
+        single = next(arm for arm in data["arms"] if arm["name"] == "single")
+        assert fleet["material_fabricated"] == 0  # the k-gate held
+        assert fleet["precision"] >= single["precision"]
+        assert fleet["ingest"]["accepted"] > 0
+
 
 
 class TestJsonFlag:

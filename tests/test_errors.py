@@ -7,9 +7,11 @@ from repro.errors import (
     ClusteringError,
     DatasetError,
     DistanceError,
+    FederationError,
     HttpParseError,
     ParseError,
     PermissionDenied,
+    ReportValidationError,
     ReproError,
     SignatureError,
     SimulationError,
@@ -27,6 +29,8 @@ def test_all_errors_derive_from_repro_error():
         PermissionDenied,
         SimulationError,
         DatasetError,
+        FederationError,
+        ReportValidationError,
     ):
         assert issubclass(cls, ReproError)
 
@@ -63,3 +67,14 @@ def test_permission_denied_carries_context():
 def test_catching_base_class_catches_everything():
     with pytest.raises(ReproError):
         raise HttpParseError("nope")
+
+
+def test_report_validation_error_is_federation_error():
+    assert issubclass(ReportValidationError, FederationError)
+
+
+def test_report_validation_error_carries_reason():
+    assert ReportValidationError("bad").reason == "schema"
+    assert ReportValidationError("bad", reason="checksum").reason == "checksum"
+    with pytest.raises(FederationError):
+        raise ReportValidationError("caught as federation failure")

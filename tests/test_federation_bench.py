@@ -1,0 +1,124 @@
+"""FederationReport / FederationBudget: gates and rendering (no bench runs)."""
+
+import json
+
+from repro.federation.bench import FederationBudget, FederationReport
+
+
+def arm(name: str, **overrides) -> dict:
+    base = {
+        "name": name,
+        "n_devices": 100,
+        "reports_per_device": 3,
+        "min_support": 3,
+        "sends": 400,
+        "accepted": 300,
+        "admitted_tokens": 12,
+        "material_size": 20,
+        "material_fabricated": 0,
+        "n_signatures": 5,
+        "precision": 0.95,
+        "final_tick": 50.0,
+        "wall_s": 0.5,
+        "throughput_per_s": 800.0,
+        "ingest": {
+            "counts": {
+                "rejected_duplicate": 3,
+                "rejected_replay": 1,
+                "rejected_malformed": 2,
+            },
+            "quarantine": {"bans": 1, "releases": 1},
+        },
+        "aggregate": {},
+        "faults": {},
+    }
+    base.update(overrides)
+    return base
+
+
+def report_with(fleet: dict, single: dict) -> FederationReport:
+    budget = FederationBudget()
+    report = FederationReport(
+        n_apps=48, seed=0, fault_rate=0.2, min_support=3,
+        arms=[fleet, single], budget=budget.to_dict(),
+    )
+    report.violations = budget.violations(report)
+    return report
+
+
+class TestBudget:
+    def test_clean_report_passes(self):
+        report = report_with(arm("fleet"), arm("single", precision=0.90))
+        assert report.ok
+        assert report.violations == []
+
+    def test_precision_regression_violates(self):
+        report = report_with(arm("fleet", precision=0.80), arm("single", precision=0.90))
+        assert not report.ok
+        assert any("precision" in v for v in report.violations)
+
+    def test_fabricated_material_violates(self):
+        report = report_with(
+            arm("fleet", material_fabricated=2), arm("single", precision=0.90)
+        )
+        assert any("fabricated" in v for v in report.violations)
+
+    def test_throughput_floor_violates(self):
+        report = report_with(
+            arm("fleet", throughput_per_s=10.0), arm("single", precision=0.90)
+        )
+        assert any("throughput" in v for v in report.violations)
+
+    def test_empty_fleet_violates(self):
+        report = report_with(
+            arm("fleet", accepted=0, admitted_tokens=0), arm("single", precision=0.90)
+        )
+        assert any("accepted no reports" in v for v in report.violations)
+        assert any("admitted no tokens" in v for v in report.violations)
+
+    def test_disabled_gates_pass_anything(self):
+        budget = FederationBudget(
+            min_precision_gain=None, require_pure_material=False, min_throughput_per_s=None
+        )
+        report = FederationReport(
+            n_apps=48, seed=0, fault_rate=0.2, min_support=3,
+            arms=[arm("fleet", precision=0.1, material_fabricated=9, throughput_per_s=1.0),
+                  arm("single", precision=0.9)],
+            budget=budget.to_dict(),
+        )
+        assert budget.violations(report) == []
+
+    def test_missing_arm_is_a_violation(self):
+        budget = FederationBudget()
+        report = FederationReport(
+            n_apps=48, seed=0, fault_rate=0.2, min_support=3, arms=[arm("fleet")],
+            budget=budget.to_dict(),
+        )
+        assert budget.violations(report) == ["bench did not produce both arms"]
+
+
+class TestReport:
+    def test_to_dict_json_ready(self):
+        report = report_with(arm("fleet"), arm("single", precision=0.90))
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["bench"] == "federation"
+        assert data["ok"] is True
+        assert len(data["arms"]) == 2
+
+    def test_save_round_trips(self, tmp_path):
+        report = report_with(arm("fleet"), arm("single", precision=0.90))
+        path = report.save(tmp_path / "BENCH_federation.json")
+        assert json.loads(path.read_text())["min_support"] == 3
+
+    def test_render_table(self):
+        report = report_with(arm("fleet"), arm("single", precision=0.90))
+        text = report.render()
+        assert "Federation bench" in text
+        assert "fleet" in text and "single" in text
+        assert "quarantine bans=1" in text
+        assert "budget: ok" in text
+
+    def test_render_lists_violations(self):
+        report = report_with(arm("fleet", precision=0.5), arm("single", precision=0.90))
+        text = report.render()
+        assert "BUDGET VIOLATIONS" in text

@@ -1,0 +1,229 @@
+"""FleetIngest: the quarantine -> admission -> validation -> dedup gauntlet."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation.ingest import (
+    FleetIngest,
+    IngestConfig,
+    ReportStatus,
+    shard_for,
+)
+from repro.federation.report import DeviceReport, encode_report, token_for
+from repro.serving.gateway import ShedPolicy
+from tests.conftest import make_packet
+
+
+def envelope(seq: int, device_id: str = "device-00001", target: str = "/track?udid=x"):
+    packet = make_packet(target=target)
+    report = DeviceReport(
+        device_id=device_id, seq=seq, token=token_for(packet), packet=packet
+    )
+    return encode_report(report)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_shards=0),
+        dict(queue_capacity=0),
+        dict(dedup_window=0),
+        dict(breaker_threshold=0),
+        dict(quarantine_release_ticks=0.0),
+        dict(per_report_ticks=-1.0),
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(FederationError):
+            IngestConfig(**kwargs)
+
+
+class TestSharding:
+    def test_shard_assignment_is_stable(self):
+        assert shard_for("device-00001", 8) == shard_for("device-00001", 8)
+
+    def test_shards_in_range_and_spread(self):
+        shards = {shard_for(f"device-{i:05d}", 8) for i in range(200)}
+        assert all(0 <= shard < 8 for shard in shards)
+        assert len(shards) == 8  # 200 devices cover all 8 shards
+
+    def test_one_device_always_one_shard(self):
+        ingest = FleetIngest(IngestConfig(n_shards=4))
+        shards = {
+            ingest.submit(envelope(seq), tick=float(seq)).shard for seq in range(1, 10)
+        }
+        assert len(shards) == 1
+
+
+class TestAcceptance:
+    def test_valid_report_accepted(self):
+        ingest = FleetIngest()
+        result = ingest.submit(envelope(1), tick=0.0)
+        assert result.accepted
+        assert result.status is ReportStatus.ACCEPTED
+        assert result.report is not None
+        assert result.report.seq == 1
+
+    def test_gaps_in_sequence_are_fine(self):
+        # Devices only report *candidate* leaks; most local traffic never
+        # becomes a report, so the server sees gaps, not a dense sequence.
+        ingest = FleetIngest()
+        for seq in (1, 5, 9):
+            assert ingest.submit(envelope(seq), tick=0.0).accepted
+
+    def test_malformed_rejected_with_reason(self):
+        ingest = FleetIngest()
+        record = envelope(1)
+        record["checksum"] = "0" * 64
+        result = ingest.submit(record, tick=0.0)
+        assert result.status is ReportStatus.REJECTED_MALFORMED
+        assert result.reason == "checksum"
+        assert ingest.rejection_reasons == {"checksum": 1}
+
+    def test_garbage_submission_does_not_raise(self):
+        ingest = FleetIngest()
+        assert ingest.submit(None, tick=0.0).status is ReportStatus.REJECTED_MALFORMED
+        assert ingest.submit([1, 2], tick=0.0).status is ReportStatus.REJECTED_MALFORMED
+
+
+class TestReplayDefense:
+    def test_duplicate_inside_window_rejected_as_duplicate(self):
+        ingest = FleetIngest()
+        ingest.submit(envelope(1), tick=0.0)
+        result = ingest.submit(envelope(1), tick=1.0)
+        assert result.status is ReportStatus.REJECTED_DUPLICATE
+
+    def test_replay_behind_window_rejected_as_replay(self):
+        # With a 2-deep window and high watermark 5, seq 4-5 are duplicates
+        # (at-least-once redelivery) while seq 1 is a replay (history).
+        ingest = FleetIngest(IngestConfig(dedup_window=2))
+        for seq in range(1, 6):
+            assert ingest.submit(envelope(seq), tick=float(seq)).accepted
+        assert (
+            ingest.submit(envelope(5), tick=6.0).status
+            is ReportStatus.REJECTED_DUPLICATE
+        )
+        assert (
+            ingest.submit(envelope(1), tick=7.0).status is ReportStatus.REJECTED_REPLAY
+        )
+        assert ingest.counts["rejected_replay"] == 1
+
+    def test_watermark_never_regresses(self):
+        ingest = FleetIngest()
+        ingest.submit(envelope(3), tick=0.0)
+        assert (
+            ingest.submit(envelope(2), tick=1.0).status
+            is not ReportStatus.ACCEPTED
+        )
+        assert ingest.submit(envelope(4), tick=2.0).accepted
+
+
+class TestQuarantineCycle:
+    def config(self) -> IngestConfig:
+        return IngestConfig(breaker_threshold=3, quarantine_release_ticks=10.0)
+
+    def trip(self, ingest: FleetIngest, tick: float) -> None:
+        bad = envelope(1)
+        bad["checksum"] = "0" * 64
+        for _ in range(ingest.config.breaker_threshold):
+            ingest.submit(bad, tick=tick)
+
+    def test_violation_streak_quarantines(self):
+        ingest = FleetIngest(self.config())
+        self.trip(ingest, tick=0.0)
+        result = ingest.submit(envelope(1), tick=1.0)
+        assert result.status is ReportStatus.REJECTED_QUARANTINED
+        assert result.status.retryable
+        assert ingest.quarantine.bans == 1
+
+    def test_cooldown_releases_and_readmits(self):
+        ingest = FleetIngest(self.config())
+        self.trip(ingest, tick=0.0)
+        assert not ingest.submit(envelope(1), tick=5.0).accepted
+        # Past the cooldown the ban lifts and the clean report lands.
+        result = ingest.submit(envelope(1), tick=11.0)
+        assert result.accepted
+        assert ingest.quarantine.releases == 1
+
+    def test_readmitted_device_gets_a_fresh_streak(self):
+        # Re-admission must not leave the device one violation from a ban:
+        # it takes a full threshold of new violations to re-trip.
+        ingest = FleetIngest(self.config())
+        self.trip(ingest, tick=0.0)
+        bad = envelope(2)
+        bad["checksum"] = "0" * 64
+        ingest.submit(bad, tick=11.0)  # one violation after release
+        assert ingest.submit(envelope(2), tick=12.0).accepted
+        assert ingest.quarantine.bans == 1
+
+    def test_repeat_offender_retrips(self):
+        ingest = FleetIngest(self.config())
+        self.trip(ingest, tick=0.0)
+        self.trip(ingest, tick=11.0)
+        assert (
+            ingest.submit(envelope(1), tick=12.0).status
+            is ReportStatus.REJECTED_QUARANTINED
+        )
+        assert ingest.quarantine.bans == 2
+        assert ingest.quarantine.releases == 1
+
+    def test_duplicates_count_as_violations(self):
+        # A dedup-window hit is a protocol violation too — a device
+        # hammering old sequence numbers ends up quarantined.
+        ingest = FleetIngest(self.config())
+        ingest.submit(envelope(1), tick=0.0)
+        for _ in range(ingest.config.breaker_threshold):
+            ingest.submit(envelope(1), tick=1.0)
+        assert (
+            ingest.submit(envelope(2), tick=2.0).status
+            is ReportStatus.REJECTED_QUARANTINED
+        )
+
+
+class TestShedding:
+    def flood(self, ingest: FleetIngest, n: int) -> list:
+        # Same device -> same shard; same tick -> backlog only grows.
+        return [ingest.submit(envelope(seq), tick=0.0) for seq in range(1, n + 1)]
+
+    def test_drop_policy_sheds_overflow(self):
+        ingest = FleetIngest(
+            IngestConfig(queue_capacity=2, shed_policy=ShedPolicy.DROP, n_shards=1)
+        )
+        results = self.flood(ingest, 6)
+        statuses = [result.status for result in results]
+        assert ReportStatus.SHED_DROPPED in statuses
+        shed = next(result for result in results if result.status is ReportStatus.SHED_DROPPED)
+        assert shed.status.retryable
+
+    def test_degrade_policy_validates_inline(self):
+        ingest = FleetIngest(
+            IngestConfig(queue_capacity=2, shed_policy=ShedPolicy.DEGRADE, n_shards=1)
+        )
+        results = self.flood(ingest, 6)
+        assert all(result.accepted for result in results)
+        assert any(result.degraded for result in results)
+        assert ingest.counts["shed_degraded"] > 0
+
+    def test_backlog_drains_with_the_clock(self):
+        ingest = FleetIngest(
+            IngestConfig(queue_capacity=2, shed_policy=ShedPolicy.DROP, n_shards=1)
+        )
+        self.flood(ingest, 6)
+        # Much later the queue has drained; the same device is served again.
+        assert ingest.submit(envelope(50), tick=100.0).accepted
+
+
+class TestStats:
+    def test_stats_shape(self):
+        ingest = FleetIngest()
+        ingest.submit(envelope(1), tick=0.0)
+        ingest.submit(envelope(1), tick=1.0)
+        bad = envelope(2)
+        bad.pop("packet")
+        ingest.submit(bad, tick=2.0)
+        stats = ingest.stats()
+        assert stats["submitted"] == 3
+        assert stats["accepted"] == 1
+        assert stats["devices_seen"] == 1
+        assert stats["counts"]["rejected_duplicate"] == 1
+        assert stats["counts"]["rejected_malformed"] == 1
+        assert stats["rejection_reasons"] == {"schema": 1}
+        assert stats["quarantine"]["bans"] == 0

@@ -1,0 +1,133 @@
+"""Report envelope protocol: tokens, checksums, validation reasons."""
+
+import pytest
+
+from repro.errors import FederationError, ReportValidationError, ReproError
+from repro.federation.report import (
+    REPORT_FORMAT_VERSION,
+    DeviceReport,
+    decode_report,
+    encode_report,
+    token_for,
+)
+from tests.conftest import make_packet
+
+
+def make_report(seq: int = 1, device_id: str = "device-00001", **packet_kwargs) -> DeviceReport:
+    packet = make_packet(**packet_kwargs)
+    return DeviceReport(device_id=device_id, seq=seq, token=token_for(packet), packet=packet)
+
+
+class TestTokenFor:
+    def test_shape_not_values(self):
+        # Two devices leaking *different* identifier values through the same
+        # endpoint must agree on the token — that is what lets honest
+        # support accumulate across users.
+        a = token_for(make_packet(target="/track?udid=AAAA&os=4.0"))
+        b = token_for(make_packet(target="/track?udid=BBBB&os=2.3"))
+        assert a == b
+
+    def test_different_param_names_differ(self):
+        a = token_for(make_packet(target="/track?udid=AAAA"))
+        b = token_for(make_packet(target="/track?imei=AAAA"))
+        assert a != b
+
+    def test_includes_method_host_port_path(self):
+        token = token_for(make_packet(target="/track?udid=X"))
+        assert "GET" in token
+        assert "ads.example.com:80" in token
+        assert "/track" in token
+        assert "udid" in token
+        assert "X" not in token.split("?", 1)[1]  # values never leak into tokens
+
+    def test_body_param_names_included(self):
+        a = token_for(make_packet(body=b"uid=123&lat=1"))
+        b = token_for(make_packet(body=b"uid=456&lat=2"))
+        c = token_for(make_packet(body=b"other=456"))
+        assert a == b
+        assert a != c
+
+
+class TestRoundTrip:
+    def test_encode_decode_identity(self):
+        report = make_report(seq=7)
+        decoded = decode_report(encode_report(report))
+        assert decoded.device_id == report.device_id
+        assert decoded.seq == report.seq
+        assert decoded.token == report.token
+        assert decoded.packet.wire_bytes() == report.packet.wire_bytes()
+
+    def test_encode_is_deterministic(self):
+        assert encode_report(make_report()) == encode_report(make_report())
+
+    def test_envelope_carries_version_and_checksum(self):
+        record = encode_report(make_report())
+        assert record["format_version"] == REPORT_FORMAT_VERSION
+        assert len(record["checksum"]) == 64
+
+
+class TestValidation:
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ReportValidationError) as err:
+            decode_report("garbage")
+        assert err.value.reason == "schema"
+
+    def test_version_skew_rejected(self):
+        record = encode_report(make_report())
+        record["format_version"] = REPORT_FORMAT_VERSION + 1
+        with pytest.raises(ReportValidationError) as err:
+            decode_report(record)
+        assert err.value.reason == "version"
+
+    def test_checksum_tamper_rejected(self):
+        record = encode_report(make_report())
+        record["token"] = record["token"] + "x"  # flip payload, keep checksum
+        with pytest.raises(ReportValidationError) as err:
+            decode_report(record)
+        assert err.value.reason == "checksum"
+
+    def test_missing_checksum_rejected(self):
+        record = encode_report(make_report())
+        del record["checksum"]
+        with pytest.raises(ReportValidationError) as err:
+            decode_report(record)
+        assert err.value.reason == "checksum"
+
+    @pytest.mark.parametrize("field,value", [
+        ("device_id", ""),
+        ("device_id", 7),
+        ("seq", 0),
+        ("seq", -3),
+        ("seq", "5"),
+        ("seq", True),
+        ("token", ""),
+        ("token", None),
+        ("packet", None),
+        ("packet", "not-a-dict"),
+    ])
+    def test_schema_violations_rejected(self, field, value):
+        record = encode_report(make_report())
+        record[field] = value
+        with pytest.raises(ReportValidationError) as err:
+            decode_report(record)
+        assert err.value.reason == "schema"
+
+    def test_unparseable_packet_rejected(self):
+        record = encode_report(make_report())
+        record["packet"] = {"nonsense": True}
+        # Re-checksum so only the packet payload is at fault.
+        from repro.federation.report import _payload_checksum
+
+        record["checksum"] = _payload_checksum(record)
+        with pytest.raises(ReportValidationError) as err:
+            decode_report(record)
+        assert err.value.reason == "schema"
+
+
+class TestErrorHierarchy:
+    def test_validation_error_is_federation_error(self):
+        assert issubclass(ReportValidationError, FederationError)
+        assert issubclass(FederationError, ReproError)
+
+    def test_reason_defaults_to_schema(self):
+        assert ReportValidationError("x").reason == "schema"

@@ -204,3 +204,57 @@ class TestQuarantine:
         ]
         # counting keeps including the evicted records
         assert quarantine.total == 5
+
+
+class TestQuarantineBans:
+    def test_ban_and_permanent_default(self):
+        quarantine = Quarantine()
+        quarantine.ban("device-00001", now=0.0)
+        assert quarantine.is_banned("device-00001", now=1e9)  # no cooldown: forever
+        assert not quarantine.is_banned("device-00002", now=0.0)
+        assert quarantine.bans == 1
+
+    def test_cooldown_auto_releases(self):
+        quarantine = Quarantine(release_after_ticks=10.0)
+        quarantine.ban("device-00001", now=5.0)
+        assert quarantine.is_banned("device-00001", now=14.999)
+        assert not quarantine.is_banned("device-00001", now=15.0)  # elapsed exactly
+        assert quarantine.releases == 1
+        # released means released: asking again is a plain miss
+        assert not quarantine.is_banned("device-00001", now=15.0)
+        assert quarantine.releases == 1
+
+    def test_reban_restarts_the_clock(self):
+        quarantine = Quarantine(release_after_ticks=10.0)
+        quarantine.ban("device-00001", now=0.0)
+        quarantine.ban("device-00001", now=8.0)  # fresh offence at tick 8
+        assert quarantine.is_banned("device-00001", now=12.0)  # 0-based ban expired, 8-based not
+        assert not quarantine.is_banned("device-00001", now=18.0)
+        assert quarantine.bans == 2
+
+    def test_manual_release(self):
+        quarantine = Quarantine(release_after_ticks=10.0)
+        quarantine.ban("device-00001", now=0.0)
+        assert quarantine.release("device-00001")
+        assert not quarantine.is_banned("device-00001", now=1.0)
+        assert not quarantine.release("device-00001")  # already out
+        assert quarantine.releases == 1
+
+    def test_banned_members_sorted_and_pruned(self):
+        quarantine = Quarantine(release_after_ticks=10.0)
+        quarantine.ban("device-00002", now=0.0)
+        quarantine.ban("device-00001", now=5.0)
+        assert quarantine.banned_members(now=2.0) == ["device-00001", "device-00002"]
+        # the tick-0 ban expires; listing releases it as a side effect
+        assert quarantine.banned_members(now=11.0) == ["device-00001"]
+        assert quarantine.releases == 1
+
+    def test_ban_with_error_lands_in_summary(self):
+        quarantine = Quarantine()
+        quarantine.ban("device-00001", now=0.0, error=ValueError("bad seq"), reason="replay")
+        assert quarantine.summary() == {"replay": 1}
+        assert quarantine.total == 1
+
+    def test_bad_release_ticks_rejected(self):
+        with pytest.raises(SimulationError):
+            Quarantine(release_after_ticks=0.0)

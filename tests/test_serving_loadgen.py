@@ -65,6 +65,74 @@ class TestBurst:
         assert outside  # stream continues past the burst
 
 
+class TestDeviceSubstreams:
+    def test_substream_deterministic(self, small_corpus):
+        a = FleetLoadGenerator(small_corpus, seed=5).device_events(3, 20)
+        b = FleetLoadGenerator(small_corpus, seed=5).device_events(3, 20)
+        assert [(e.tick, e.seq) for e in a] == [(e.tick, e.seq) for e in b]
+        assert all(x.packet is y.packet for x, y in zip(a, b))
+
+    def test_substream_stable_under_fleet_growth(self, small_corpus):
+        # The regression this class exists for: one device's stream is a
+        # pure function of (corpus, profile, seed, device id) — generating
+        # other devices' streams first must never perturb it.
+        loadgen = FleetLoadGenerator(small_corpus, seed=5)
+        before = loadgen.device_events(3, 20)
+        for other in range(50):
+            loadgen.device_events(other, 20)
+        after = loadgen.device_events(3, 20)
+        assert [(e.tick, e.seq) for e in before] == [(e.tick, e.seq) for e in after]
+        assert [e.packet for e in before] == [e.packet for e in after]
+
+    def test_fleet_merge_is_growth_stable(self, small_corpus):
+        # The 10-device merged stream is the 9-device stream with
+        # device-00009's events spliced in — nothing else moves.
+        loadgen = FleetLoadGenerator(small_corpus, seed=5)
+        small = loadgen.fleet_events(9, 10)
+        large = loadgen.fleet_events(10, 10)
+        kept = [e for e in large if e.device_id != "device-00009"]
+        assert [(e.tick, e.device_id) for e in kept] == [
+            (e.tick, e.device_id) for e in small
+        ]
+
+    def test_fleet_events_tick_ordered_and_renumbered(self, small_corpus):
+        events = FleetLoadGenerator(small_corpus, seed=5).fleet_events(4, 6)
+        assert len(events) == 24
+        assert [e.seq for e in events] == list(range(24))
+        ticks = [e.tick for e in events]
+        assert ticks == sorted(ticks)
+
+    def test_distinct_devices_have_distinct_streams(self, small_corpus):
+        loadgen = FleetLoadGenerator(small_corpus, seed=5)
+        a = loadgen.device_events(0, 20)
+        b = loadgen.device_events(1, 20)
+        assert [e.tick for e in a] != [e.tick for e in b]
+
+    def test_device_id_format(self):
+        assert FleetLoadGenerator.device_id(3) == "device-00003"
+        assert FleetLoadGenerator.device_id(12345) == "device-12345"
+
+    def test_packet_pool_override(self, small_corpus, small_split):
+        suspicious, __ = small_split
+        loadgen = FleetLoadGenerator(small_corpus, seed=5, packets=suspicious)
+        pool = {p.wire_bytes() for p in suspicious}
+        events = loadgen.device_events(0, 30)
+        assert all(e.packet.wire_bytes() in pool for e in events)
+
+    def test_empty_packet_pool_rejected(self, small_corpus):
+        with pytest.raises(SimulationError):
+            FleetLoadGenerator(small_corpus, seed=5, packets=[])
+
+    def test_rejects_bad_arguments(self, small_corpus):
+        loadgen = FleetLoadGenerator(small_corpus, seed=5)
+        with pytest.raises(SimulationError):
+            loadgen.device_events(-1, 10)
+        with pytest.raises(SimulationError):
+            loadgen.device_events(0, 0)
+        with pytest.raises(SimulationError):
+            loadgen.fleet_events(0, 10)
+
+
 class TestValidation:
     def test_rejects_bad_profile(self):
         with pytest.raises(SimulationError):
