@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CI bench-drift gate: validate every committed ``BENCH_*.json``.
+
+Run from the repository root (the lint job does)::
+
+    python scripts/check_bench_drift.py [root]
+
+Exit status is nonzero when any committed bench report is missing a
+required field, fails its own truth-flags (``ok``/``identical``), still
+carries budget violations, or when no reports are found at all.
+
+The validation logic lives in ``src/repro/eval/benchcheck.py``; it is
+loaded straight from that file path — not via ``import repro`` — so
+this script runs in the lint environment, which installs ruff and
+nothing else (the ``repro`` package itself needs numpy at import time).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+
+def load_benchcheck(repo_root: Path):
+    module_path = repo_root / "src" / "repro" / "eval" / "benchcheck.py"
+    spec = importlib.util.spec_from_file_location("benchcheck", module_path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot load {module_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    benchcheck = load_benchcheck(root)
+    results = benchcheck.check_tree(root)
+    if not results:
+        print(f"no BENCH_*.json reports found under {root}", file=sys.stderr)
+        return 1
+    failed = False
+    for name, problems in results.items():
+        if problems:
+            failed = True
+            print(f"{name}: DRIFT")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -29,6 +29,8 @@ from repro.core.distribution import (
 from repro.core.flowcontrol import Decision, FlowControlApp, PolicyAction
 from repro.core.pipeline import DetectionPipeline, PipelineConfig
 from repro.core.server import SignatureServer
+from repro.core.streaming import StreamingClusterer, StreamingConfig
+from repro.distance.blocking import BlockingConfig, BlockingMode
 from repro.reliability import (
     CircuitBreaker,
     FaultKind,
@@ -81,6 +83,11 @@ __all__ = [
     "Decision",
     "DetectionPipeline",
     "PipelineConfig",
+    # streaming blocked clustering
+    "StreamingClusterer",
+    "StreamingConfig",
+    "BlockingConfig",
+    "BlockingMode",
     # distribution & reliability
     "SignatureChannel",
     "SignatureFetcher",

@@ -17,6 +17,8 @@
     repro fig4    --apps 300 --seed 0
     repro chaos   --apps 80 --seed 0 --rates 0,0.1,0.25,0.5
     repro bench   --apps 300 --sample 200 --workers 4 --out BENCH_perf.json
+    repro stream  --apps 300 --base 256 --batch 128 --batches 14 \
+                  --out BENCH_streaming.json
     repro serve   --apps 120 --events 4000 --shards 4 --out BENCH_serving.json
     repro trace   --apps 60 --sample 40 --seed 0 --out trace_out
     repro metrics --apps 60 --events 1200 --seed 0 --out metrics_out
@@ -331,6 +333,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.distance.blocking import BlockingMode
+    from repro.eval.streaming import StreamingBudget, run_streaming_bench
+
+    if args.quick:
+        # Smoke configuration: the exactness audit and sub-linearity
+        # gates still apply in full — only the corpus scale shrinks (and
+        # with it the >=10x scale floor, meaningless at smoke size).
+        n_apps = min(args.apps, 60)
+        base = min(args.base, 80)
+        batch = min(args.batch, 40)
+        batches = min(args.batches, 6)
+        budget = StreamingBudget(min_scale=None)
+    else:
+        n_apps, base, batch, batches = args.apps, args.base, args.batch, args.batches
+        budget = StreamingBudget(
+            min_scale=args.budget_scale,
+            max_attach_tail_ratio=args.budget_tail_ratio,
+            max_pair_fraction=args.budget_pair_fraction,
+        )
+    report = run_streaming_bench(
+        n_apps=n_apps,
+        base=base,
+        batch_size=batch,
+        batches=batches,
+        threshold=args.threshold,
+        mode=BlockingMode(args.mode),
+        compact_every=args.compact_every,
+        workers=args.workers,
+        seed=args.seed,
+        budget=budget,
+    )
+    emit_report(args, report.render(), report.to_dict())
+    if args.out:
+        report.save(args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.audit_out:
+        report.save_audit(args.audit_out)
+        if not args.json:
+            print(f"wrote {args.audit_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.bench import ServingBudget, run_serving_bench
     from repro.serving.gateway import ShedPolicy
@@ -547,6 +593,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", help="write the JSON report here")
     add_json_flag(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "stream",
+        help="run the streaming blocked-clustering bench + exactness audit; "
+        "emits BENCH_streaming.json",
+    )
+    p.add_argument("--apps", type=int, default=300)
+    p.add_argument("--base", type=int, default=256, help="packets in the initial load")
+    p.add_argument("--batch", type=int, default=128, help="packets per extension batch")
+    p.add_argument("--batches", type=int, default=14, help="extension batches")
+    p.add_argument("--threshold", type=float, default=1.2,
+                   help="absolute linkage height clusters are cut at")
+    p.add_argument("--mode", choices=("exact", "lsh"), default="exact",
+                   help="blocking prefilter: exact = provably lossless "
+                        "destination bound; lsh = destination key + minhash")
+    p.add_argument("--compact-every", type=int, default=4,
+                   help="ingest batches between dirty-block compactions")
+    p.add_argument("--workers", type=int, default=1,
+                   help="distance-engine processes (0 = one per CPU)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quick", action="store_true",
+                   help="smoke scale; exactness + sub-linearity gates still apply")
+    p.add_argument("--budget-scale", type=float, default=10.0,
+                   help="required corpus growth over the perf-bench baseline M")
+    p.add_argument("--budget-tail-ratio", type=float, default=2.0,
+                   help="max per-item attach-cost growth, last batch vs first")
+    p.add_argument("--budget-pair-fraction", type=float, default=0.6,
+                   help="max fraction of the full pair space evaluated")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    p.add_argument("--audit-out", default="",
+                   help="write the standalone exactness-audit JSON here")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
         "serve", help="run the online screening gateway bench; emits BENCH_serving.json"

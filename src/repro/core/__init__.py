@@ -11,6 +11,7 @@ from repro.core.flowcontrol import Decision, FlowControlApp, PolicyAction
 from repro.core.incremental import IncrementalSignatureSet
 from repro.core.pipeline import DetectionPipeline, PipelineConfig
 from repro.core.server import ServerConfig, SignatureServer
+from repro.core.streaming import StreamingClusterer, StreamingConfig, StreamingStats
 
 __all__ = [
     "SignatureServer",
@@ -21,4 +22,7 @@ __all__ = [
     "DetectionPipeline",
     "PipelineConfig",
     "IncrementalSignatureSet",
+    "StreamingClusterer",
+    "StreamingConfig",
+    "StreamingStats",
 ]

@@ -62,8 +62,10 @@ class IncrementalSignatureSet:
         consolidation.  While under the ceiling, successive consolidations
         *extend* the cached distance matrix (only the k x M new pairs are
         computed, via :class:`~repro.distance.engine.MatrixCache`); when
-        the ceiling would be exceeded, the oldest material is dropped and
-        the matrix is rebuilt once.
+        the ceiling would be exceeded, the oldest material is pruned out
+        of the cached matrix (a gather, not a recompute) and the fresh
+        packets are appended through the same extension path — a full
+        rebuild only happens when no old material survives.
     """
 
     def __init__(
@@ -159,8 +161,19 @@ class IncrementalSignatureSet:
         if len(self._consolidation) + len(fresh) < self.min_residue:
             return len(self.signatures)
         if len(self._consolidation) + len(fresh) > self.max_consolidation_material:
-            kept = (self._consolidation.items + fresh)[-self.max_consolidation_material:]
-            matrix = self._consolidation.rebuild(kept)
+            keep_old = self.max_consolidation_material - len(fresh)
+            if keep_old > 0 and self._consolidation.matrix is not None:
+                # Prune the oldest material out of the cached matrix
+                # (vectorized gather, no recompute), then extend with the
+                # fresh packets — only the fresh x kept pairs are evaluated.
+                retained = len(self._consolidation)
+                self._consolidation.prune(range(retained - keep_old, retained))
+                matrix = self._consolidation.add(fresh)
+            else:
+                # No old material survives (or nothing was ever cached):
+                # a rebuild over the tail is the only option.
+                kept = (self._consolidation.items + fresh)[-self.max_consolidation_material:]
+                matrix = self._consolidation.rebuild(kept)
         else:
             matrix = self._consolidation.add(fresh)
         dendrogram = agglomerate(matrix, self.config.linkage)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.clustering.linkage import Linkage
 from repro.core.server import ServerConfig, SignatureServer
 from repro.dataset.trace import Trace
+from repro.distance.blocking import BlockingConfig
 from repro.distance.packet import PacketDistance
 from repro.eval.metrics import DetectionMetrics, compute_metrics
 from repro.obs import NULL_OBS, Observability
@@ -28,12 +29,15 @@ class PipelineConfig:
 
     :param workers: process count for the distance-matrix build (``1`` =
         serial, ``0`` = one per CPU); output is bit-identical either way.
+    :param blocking: optional candidate-pair prefilter for the matrix
+        build (see :class:`~repro.core.server.ServerConfig`).
     """
 
     distance: PacketDistance = field(default_factory=PacketDistance.paper)
     linkage: Linkage = Linkage.GROUP_AVERAGE
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     workers: int = 1
+    blocking: BlockingConfig | None = None
 
 
 @dataclass(slots=True)
@@ -76,6 +80,7 @@ class DetectionPipeline:
                 linkage=self.config.linkage,
                 generator=self.config.generator,
                 workers=self.config.workers,
+                blocking=self.config.blocking,
             ),
             obs=self.obs,
         )

@@ -8,6 +8,7 @@ signatures from the dendrogram.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from typing import Any, Iterable
@@ -16,6 +17,7 @@ from repro.clustering.dendrogram import Dendrogram
 from repro.clustering.linkage import Linkage, agglomerate
 from repro.dataset.split import sample_packets
 from repro.dataset.trace import Trace
+from repro.distance.blocking import BlockingConfig
 from repro.distance.engine import DistanceEngine
 from repro.distance.packet import PacketDistance
 from repro.errors import ReproError, SignatureError
@@ -39,11 +41,17 @@ class ServerConfig:
     :param workers: process count for the pairwise distance build
         (``1`` = in-process serial, ``0`` = one per CPU; results are
         bit-identical for every setting).
+    :param blocking: optional candidate-pair prefilter.  When set, the
+        distance matrix is built blocked (NCD only inside candidate
+        blocks) and the dendrogram cut uses the blocking threshold as an
+        absolute height — in ``BlockingMode.EXACT`` the resulting flat
+        clusters are provably identical to the unblocked pipeline's.
     """
 
     linkage: Linkage = Linkage.GROUP_AVERAGE
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     workers: int = 1
+    blocking: BlockingConfig | None = None
 
 
 @dataclass(slots=True)
@@ -86,6 +94,19 @@ class SignatureServer:
         self.payload_check = payload_check
         self.distance = distance or PacketDistance.paper()
         self.config = config or ServerConfig()
+        if (
+            self.config.blocking is not None
+            and self.config.generator.cut_height is None
+        ):
+            # Blocked matrices key on the absolute threshold; align the
+            # cut so generation agrees with the blocking guarantee.
+            self.config = dataclasses.replace(
+                self.config,
+                generator=dataclasses.replace(
+                    self.config.generator,
+                    cut_height=self.config.blocking.threshold,
+                ),
+            )
         self.obs = obs or NULL_OBS
         self.engine = DistanceEngine(
             self.distance,
@@ -188,7 +209,12 @@ class SignatureServer:
         with self.obs.span(
             "distance_matrix", track="pipeline", n_items=n, n_pairs=n * (n - 1) // 2
         ):
-            matrix = self.engine.matrix(packets)
+            if self.config.blocking is not None:
+                matrix, __ = self.engine.blocked_matrix(
+                    packets, blocking=self.config.blocking
+                )
+            else:
+                matrix = self.engine.matrix(packets)
         with self.obs.span("linkage", track="pipeline", n_items=n):
             dendrogram = agglomerate(matrix, self.config.linkage)
             self.obs.advance(max(0, n - 1))

@@ -11,6 +11,13 @@ configurable entry point; :func:`repro.distance.matrix.distance_matrix`
 computes condensed pairwise matrices for clustering.
 """
 
+from repro.distance.blocking import (
+    BlockAssignment,
+    BlockingConfig,
+    BlockingMode,
+    BlockingStats,
+    assign_blocks,
+)
 from repro.distance.content import ContentDistance, header_distance
 from repro.distance.destination import (
     destination_distance,
@@ -18,7 +25,13 @@ from repro.distance.destination import (
     ip_distance,
     port_distance,
 )
-from repro.distance.engine import DistanceEngine, EngineStats, MatrixCache, engine_matrix
+from repro.distance.engine import (
+    DistanceEngine,
+    EngineStats,
+    MatrixCache,
+    PairStream,
+    engine_matrix,
+)
 from repro.distance.matrix import CondensedMatrix, distance_matrix
 from repro.distance.ncd import CacheStats, Compressor, NcdCalculator, ncd
 from repro.distance.packet import PacketDistance
@@ -40,5 +53,11 @@ __all__ = [
     "DistanceEngine",
     "EngineStats",
     "MatrixCache",
+    "PairStream",
     "engine_matrix",
+    "BlockingMode",
+    "BlockingConfig",
+    "BlockingStats",
+    "BlockAssignment",
+    "assign_blocks",
 ]

@@ -64,6 +64,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.distance.blocking import BlockAssignment, BlockingConfig, assign_blocks
 from repro.distance.destination import destination_distance
 from repro.distance.matrix import CondensedMatrix
 from repro.distance.ncd import CacheStats, NcdCalculator
@@ -98,6 +99,8 @@ class EngineStats:
     chunks_quarantined: int = 0
     faults_injected: int = 0
     recovered: bool = True
+    n_blocks: int = 0
+    pairs_pruned: int = 0
     singles: CacheStats = field(default_factory=CacheStats)
 
     @property
@@ -125,6 +128,8 @@ class EngineStats:
             "chunks_quarantined": self.chunks_quarantined,
             "faults_injected": self.faults_injected,
             "recovered": self.recovered,
+            "n_blocks": self.n_blocks,
+            "pairs_pruned": self.pairs_pruned,
             "pair_hit_rate": round(self.pair_hit_rate, 4),
             "singles_hits": self.singles.hits,
             "singles_misses": self.singles.misses,
@@ -161,15 +166,33 @@ class _PacketEvaluator:
         self.use_body = content.use_body
         self.ncd = NcdCalculator(content.calculator.compressor, clamp=content.calculator.clamp)
 
-        # Deduplicate per-packet fields into id tables, once.
+        # Deduplicated per-packet field id tables, grown by add_items.
         self.destinations: list = []
         self.blobs: list[bytes] = []
-        dest_ids: dict = {}
-        blob_ids: dict[bytes, int] = {}
+        self._dest_ids: dict = {}
+        self._blob_ids: dict[bytes, int] = {}
         self.dest_of: list[int] = []
         self.rline_of: list[int] = []
         self.cookie_of: list[int] = []
         self.body_of: list[int] = []
+
+        # Component caches, filled on demand during chunk evaluation.
+        self._dest_cache: dict[tuple[int, int], float] = {}
+        self._ncd_cache: dict[tuple[int, int], float] = {}
+
+        self.add_items(items)
+
+    def add_items(self, items: Sequence) -> None:
+        """Append ``items`` to the evaluated population.
+
+        Incremental: only blobs not seen before are added to the id tables
+        and get their ``C(x)`` precomputed, so a streaming consumer pays
+        per *new unique value*, not per packet.  Existing item indices,
+        cached components, and computed distances are untouched.
+        """
+        blob_ids = self._blob_ids
+        dest_ids = self._dest_ids
+        first_new_blob = len(self.blobs)
 
         def blob_id(blob: bytes) -> int:
             index = blob_ids.get(blob)
@@ -189,13 +212,9 @@ class _PacketEvaluator:
             self.cookie_of.append(blob_id(packet.cookie.encode("latin-1")))
             self.body_of.append(blob_id(packet.body))
 
-        # All C(x) terms up front — workers inherit the warm table.
-        if self.content_weight:
-            self.ncd.precompute(self.blobs)
-
-        # Component caches, filled on demand during chunk evaluation.
-        self._dest_cache: dict[tuple[int, int], float] = {}
-        self._ncd_cache: dict[tuple[int, int], float] = {}
+        # C(x) for the new blobs only — workers inherit the warm table.
+        if self.content_weight and len(self.blobs) > first_new_blob:
+            self.ncd.precompute(self.blobs[first_new_blob:])
 
     def pairs(self, rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, _ChunkStats]:
         """Evaluate ``d_pkt`` for each ``(rows[t], cols[t])`` pair."""
@@ -266,6 +285,9 @@ class _GenericEvaluator:
     def __init__(self, metric: Callable, items: Sequence) -> None:
         self.metric = metric
         self.items = list(items)
+
+    def add_items(self, items: Sequence) -> None:
+        self.items.extend(items)
 
     def pairs(self, rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, _ChunkStats]:
         out = np.empty(len(rows), dtype=float)
@@ -489,6 +511,65 @@ class DistanceEngine:
         self.stats.n_items = n_new
         self.stats.n_pairs = len(rows)
         return CondensedMatrix(n_new, new_values)
+
+    def blocked_matrix(
+        self,
+        items: Sequence,
+        *,
+        blocking: BlockingConfig,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> tuple[CondensedMatrix, BlockAssignment]:
+        """Condensed matrix computed only inside candidate blocks.
+
+        Within-block pairs go through the same evaluator :meth:`matrix`
+        uses (same row-major orientation, same caches) and are therefore
+        bit-identical to a full build.  Cross-block pairs are never
+        evaluated; their entries are set to ``blocking.fill_value(metric)``,
+        above both the threshold and the metric ceiling, so any flat cut
+        at or below ``blocking.threshold`` never sees them.  In
+        ``BlockingMode.EXACT`` that cut is provably identical to cutting
+        the full matrix (see :mod:`repro.distance.blocking`).
+        """
+        n = len(items)
+        assignment = assign_blocks(items, self.metric, blocking)
+        evaluator = self._build_evaluator(items)
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        for block in assignment.blocks:
+            if len(block) < 2:
+                continue
+            members = np.asarray(block, dtype=np.intp)
+            local_rows, local_cols = np.triu_indices(len(members), k=1)
+            row_parts.append(members[local_rows])
+            col_parts.append(members[local_cols])
+        if row_parts:
+            rows = np.concatenate(row_parts)
+            cols = np.concatenate(col_parts)
+        else:
+            rows = np.empty(0, dtype=np.intp)
+            cols = np.empty(0, dtype=np.intp)
+
+        with self.obs.span(
+            "engine_blocked_matrix", track="engine",
+            n_items=n, n_blocks=assignment.stats.n_blocks,
+            pairs_within=assignment.stats.pairs_within,
+        ):
+            computed = self._compute(
+                evaluator, len(rows), n_full=None, rows=rows, cols=cols,
+                progress=progress,
+            )
+        values = np.full(
+            n * (n - 1) // 2, blocking.fill_value(self.metric), dtype=float
+        )
+        if len(rows):
+            values[_condensed_indices(rows, cols, n)] = computed
+        self.stats.n_items = n
+        self.stats.n_pairs = len(rows)
+        self.stats.n_blocks = assignment.stats.n_blocks
+        self.stats.pairs_pruned = assignment.stats.pairs_pruned
+        self.obs.inc("engine_pairs_pruned", assignment.stats.pairs_pruned)
+        self.obs.set_gauge("engine_blocks", assignment.stats.n_blocks)
+        return CondensedMatrix(n, values), assignment
 
     # -- internals ----------------------------------------------------------------
 
@@ -790,3 +871,118 @@ class MatrixCache:
         self.items = list(items)
         self.matrix = self.engine.matrix(self.items)
         return self.matrix
+
+    def prune(self, keep_indices: Sequence[int]) -> CondensedMatrix | None:
+        """Restrict the cached population to ``items[keep_indices]``.
+
+        The cached matrix is *gathered*, not recomputed — every surviving
+        pair keeps its exact value — so a later :meth:`add` extends from
+        the pruned state instead of rebuilding from scratch.
+        """
+        keep = list(keep_indices)
+        self.items = [self.items[index] for index in keep]
+        if self.matrix is not None:
+            self.matrix = self.matrix.subset(keep)
+        return self.matrix
+
+
+class PairStream:
+    """On-demand pair distances over a growing item population.
+
+    Where :class:`MatrixCache` maintains the *full* condensed matrix,
+    ``PairStream`` is the sparse companion for blocked/streaming
+    clustering: it keeps one persistent evaluator (dedup id tables +
+    warm ``C(x)`` cache, grown incrementally via ``add_items``) and an
+    item-level pair cache, and computes only the pairs callers actually
+    request — attach probes, then dirty-block matrices, with every pair
+    evaluated at most once across both phases.
+
+    Distances are bit-identical to the full-matrix build: pairs are
+    always evaluated with the smaller index as the row item, matching
+    the condensed layout's row-major concatenation order for NCD.
+    """
+
+    def __init__(self, engine: DistanceEngine | None = None) -> None:
+        self.engine = engine or DistanceEngine()
+        self.items: list = []
+        self._evaluator = None
+        self._cache: dict[tuple[int, int], float] = {}
+        self.pairs_evaluated = 0
+        self.cache_hits = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def extend(self, new_items: Sequence) -> None:
+        """Append ``new_items`` to the population (indices keep counting up)."""
+        new_items = list(new_items)
+        if not new_items:
+            return
+        if self._evaluator is None:
+            self.items = new_items
+            self._evaluator = self.engine._build_evaluator(self.items)
+        else:
+            self._evaluator.add_items(new_items)
+            self.items.extend(new_items)
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between items ``i`` and ``j`` (cached)."""
+        if i == j:
+            return 0.0
+        return float(self.distances([(i, j)])[0])
+
+    def distances(self, pairs: Sequence[tuple[int, int]]) -> np.ndarray:
+        """Distances for ``pairs``; only cache misses are evaluated.
+
+        Large miss batches (>= the engine's chunk size) go through the
+        engine's chunked — possibly multi-process — dispatch; small ones
+        are evaluated serially in-process.
+        """
+        out = np.empty(len(pairs), dtype=float)
+        missing: list[tuple[int, int]] = []
+        missing_pos: list[int] = []
+        for t, (i, j) in enumerate(pairs):
+            if i == j:  # diagonal, by the matrix convention
+                out[t] = 0.0
+                continue
+            key = (i, j) if i < j else (j, i)
+            value = self._cache.get(key)
+            if value is None:
+                missing.append(key)
+                missing_pos.append(t)
+            else:
+                out[t] = value
+                self.cache_hits += 1
+        if missing:
+            rows = np.fromiter((k[0] for k in missing), dtype=np.intp, count=len(missing))
+            cols = np.fromiter((k[1] for k in missing), dtype=np.intp, count=len(missing))
+            if len(missing) >= self.engine.chunk_pairs and self.engine.workers > 1:
+                values = self.engine._compute(
+                    self._evaluator, len(rows),
+                    n_full=None, rows=rows, cols=cols, progress=None,
+                )
+            else:
+                values, delta = self._evaluator.pairs(rows, cols)
+                self.engine._absorb(delta)
+            for key, pos, value in zip(missing, missing_pos, values):
+                self._cache[key] = float(value)
+                out[pos] = value
+            self.pairs_evaluated += len(missing)
+        return out
+
+    def matrix(self, indices: Sequence[int]) -> CondensedMatrix:
+        """Condensed matrix over ``items[indices]`` (cache-backed).
+
+        Used for dirty-block compaction: pairs already probed during
+        attach are served from the cache; only the rest are evaluated.
+        """
+        picked = list(indices)
+        m = len(picked)
+        if m < 2:
+            return CondensedMatrix(m, np.empty(0, dtype=float))
+        local_rows, local_cols = np.triu_indices(m, k=1)
+        pairs = [
+            (picked[a], picked[b])
+            for a, b in zip(local_rows.tolist(), local_cols.tolist())
+        ]
+        return CondensedMatrix(m, self.distances(pairs))

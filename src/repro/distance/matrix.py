@@ -57,6 +57,32 @@ class CondensedMatrix:
             square[cols, rows] = self.values
         return square
 
+    def subset(self, indices: Sequence[int]) -> "CondensedMatrix":
+        """Condensed matrix over ``items[indices]`` (vectorized gather).
+
+        The result's pair ``(a, b)`` equals this matrix's pair
+        ``(indices[a], indices[b])`` — the same values a fresh build over
+        the sub-population would produce.  Used by block-local
+        reclustering, which only ever looks inside one block.
+        """
+        picked = np.asarray(list(indices), dtype=np.intp)
+        if picked.size and (picked.min() < 0 or picked.max() >= self.n):
+            raise DistanceError(
+                f"subset indices out of range for n={self.n}"
+            )
+        if len(set(picked.tolist())) != picked.size:
+            raise DistanceError("subset indices must be distinct")
+        m = picked.size
+        if m < 2:
+            return CondensedMatrix(m, np.empty(0, dtype=float))
+        local_rows, local_cols = np.triu_indices(m, k=1)
+        gi = picked[local_rows]
+        gj = picked[local_cols]
+        lo = np.minimum(gi, gj)
+        hi = np.maximum(gi, gj)
+        condensed = lo * self.n - lo * (lo + 1) // 2 + (hi - lo - 1)
+        return CondensedMatrix(m, self.values[condensed].astype(float, copy=True))
+
     @property
     def max(self) -> float:
         return float(self.values.max()) if self.values.size else 0.0

@@ -1,0 +1,112 @@
+"""Schema validation for committed ``BENCH_*.json`` reports.
+
+The repo commits one machine-readable report per bench family
+(``BENCH_perf.json``, ``BENCH_serving.json``, ``BENCH_federation.json``,
+``BENCH_streaming.json``) as the perf trajectory of record.  Nothing
+stops a refactor from silently changing a report's shape — or from
+committing a report whose own gates failed — so the lint job runs this
+check over every committed report: fields the CI assertions and the
+README's interpretation guides rely on must be present, and the
+truth-flags (``ok``, and ``identical`` where the bench carries an
+equivalence proof) must actually be true.
+
+Deliberately **stdlib-only**: the lint job installs ruff and nothing
+else, so ``scripts/check_bench_drift.py`` loads this module straight
+from its file path without importing the ``repro`` package (which pulls
+in numpy at ``__init__`` time).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Top-level fields each bench family must carry.  These are the keys CI
+#: assertions, the README, and downstream tooling read — dropping one is
+#: schema drift even when the bench still "works".
+REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "perf": (
+        "bench", "corpus", "m", "n_pairs", "workers", "cpu_count",
+        "timings_s", "throughput", "speedup", "identical", "n_signatures",
+        "budget", "violations", "ok",
+    ),
+    "serving": (
+        "bench", "corpus", "cpu_count", "gateway", "n_events",
+        "n_signatures", "scenarios", "budget", "violations", "ok",
+    ),
+    "federation": (
+        "bench", "corpus", "cpu_count", "arms", "fault_rate",
+        "min_support", "budget", "violations", "ok",
+    ),
+    "streaming": (
+        "bench", "corpus", "mode", "threshold", "baseline_m", "m_total",
+        "scale", "batches", "recompute", "blocking", "streaming_stats",
+        "audit", "identical", "budget", "violations", "ok",
+    ),
+    "streaming_audit": (
+        "bench", "corpus", "mode", "threshold", "m_total", "audit",
+        "identical", "ok",
+    ),
+}
+
+#: Flags that must be literally ``True`` in a committed report — a report
+#: that fails its own gates (or lost its equivalence proof) must never be
+#: checked in as the trajectory of record.
+TRUE_FLAGS: dict[str, tuple[str, ...]] = {
+    "perf": ("identical", "ok"),
+    "serving": ("ok",),
+    "federation": ("ok",),
+    "streaming": ("identical", "ok"),
+    "streaming_audit": ("identical", "ok"),
+}
+
+
+def check_report(payload: object) -> list[str]:
+    """Problems with one parsed report; empty when it is schema-valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"report is {type(payload).__name__}, expected an object"]
+    bench = payload.get("bench")
+    if not isinstance(bench, str):
+        return ["missing or non-string 'bench' discriminator field"]
+    required = REQUIRED_FIELDS.get(bench)
+    if required is None:
+        return [
+            f"unknown bench family {bench!r} "
+            f"(known: {', '.join(sorted(REQUIRED_FIELDS))})"
+        ]
+    for name in required:
+        if name not in payload:
+            problems.append(f"missing required field {name!r}")
+    for name in TRUE_FLAGS[bench]:
+        if name in payload and payload[name] is not True:
+            problems.append(f"flag {name!r} is {payload[name]!r}, must be true")
+    violations = payload.get("violations")
+    if isinstance(violations, list) and violations:
+        problems.append(f"report carries budget violations: {violations}")
+    return problems
+
+
+def check_file(path: str | Path) -> list[str]:
+    """Problems with one report file (parse errors included)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable: {exc}"]
+    return check_report(payload)
+
+
+def check_tree(root: str | Path) -> dict[str, list[str]]:
+    """Check every ``BENCH_*.json`` directly under ``root``.
+
+    :returns: file name -> problems (empty list = clean).  An empty
+        mapping means no bench reports were found at all, which callers
+        should treat as its own failure — silently checking nothing is
+        how drift checks rot.
+    """
+    root = Path(root)
+    return {
+        path.name: check_file(path)
+        for path in sorted(root.glob("BENCH_*.json"))
+    }

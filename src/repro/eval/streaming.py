@@ -1,0 +1,497 @@
+"""Streaming bench + exactness audit — the O(M²)-wall evidence.
+
+``BENCH_perf.json`` (PR 2) made the full matrix build fast at M=200;
+this bench shows the *streaming* pipeline absorbing a corpus ≥10× that
+size while the per-packet extension cost stays flat.  It drives a
+:class:`~repro.core.streaming.StreamingClusterer` through a base load
+plus a long run of extension batches, accounting attach and compaction
+pair evaluations separately per batch, then runs the **exactness
+audit**: a full recluster (complete matrix, agglomerate, threshold cut)
+over everything the stream saw, compared cluster-for-cluster against
+the streamed partition.
+
+The perf gates are counting-based, not wall-clock-based, so they hold
+on any hardware and stay meaningful in CI containers:
+
+- ``attach_tail_ratio`` — per-item attach pairs in the last batch over
+  the first extension batch.  Flat attach cost ⇒ ratio ≈ 1; a linear
+  cost would grow with M (~8× over this bench's range).
+- ``attach_tail_fraction`` — per-item attach pairs in the last batch
+  over the population size M at that point.  A naive incremental
+  extension evaluates M pairs per item (fraction 1.0); blocked attach
+  probes a capped set of cluster exemplars (fraction ≪ 1).
+- ``pair_fraction`` — all pairs ever evaluated (attach + compaction)
+  over the full M(M-1)/2 space a batch recluster would need.
+
+The audit gate: in ``BlockingMode.EXACT`` the streamed partition must
+be **identical** to the full recluster (the blocking losslessness proof
+made operational); any mode must clear a pairwise-agreement F1 floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.clustering.cut import cut_by_height
+from repro.clustering.linkage import Linkage, agglomerate
+from repro.core.streaming import StreamingClusterer, StreamingConfig
+from repro.distance.blocking import BlockingConfig, BlockingMode, assign_blocks
+from repro.distance.engine import DistanceEngine
+from repro.distance.packet import PacketDistance
+from repro.eval.perf import cpu_count
+from repro.obs import Observability
+from repro.signatures.generator import GeneratorConfig, SignatureGenerator
+from repro.signatures.store import SignatureStore
+
+
+def partition_agreement(
+    ours: list[list[int]], reference: list[list[int]], n_items: int
+) -> dict:
+    """Pairwise co-membership agreement between two partitions.
+
+    Counting-based (contingency cells, no materialized pair sets), so it
+    stays cheap at M in the thousands.  Precision/recall are over
+    same-cluster pairs with ``reference`` as truth; ``rand_index`` is
+    the fraction of all pairs both partitions treat the same way.
+    """
+    label_ours: dict[int, int] = {}
+    for cluster_id, members in enumerate(ours):
+        for member in members:
+            label_ours[member] = cluster_id
+    label_ref: dict[int, int] = {}
+    for cluster_id, members in enumerate(reference):
+        for member in members:
+            label_ref[member] = cluster_id
+
+    def same_pairs(counts: Counter) -> int:
+        return sum(count * (count - 1) // 2 for count in counts.values())
+
+    ours_sizes = Counter(label_ours.values())
+    ref_sizes = Counter(label_ref.values())
+    joint = Counter(
+        (label_ours[item], label_ref[item]) for item in range(n_items)
+    )
+    same_ours = same_pairs(ours_sizes)
+    same_ref = same_pairs(ref_sizes)
+    same_both = same_pairs(joint)
+    total = n_items * (n_items - 1) // 2
+    precision = same_both / same_ours if same_ours else 1.0
+    recall = same_both / same_ref if same_ref else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    agree = same_both + (total - same_ours - same_ref + same_both)
+    canonical_ours = sorted(tuple(sorted(c)) for c in ours)
+    canonical_ref = sorted(tuple(sorted(c)) for c in reference)
+    return {
+        "identical": canonical_ours == canonical_ref,
+        "precision": round(precision, 6),
+        "recall": round(recall, 6),
+        "f1": round(f1, 6),
+        "rand_index": round(agree / total, 6) if total else 1.0,
+        "n_clusters_stream": len(ours),
+        "n_clusters_full": len(reference),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingBudget:
+    """Gates for the streaming bench (``None`` disables one).
+
+    All perf gates count pair evaluations rather than seconds, so they
+    are deterministic for a seed and hardware-independent.
+    """
+
+    min_scale: float | None = 10.0
+    max_attach_tail_ratio: float | None = 2.0
+    max_attach_tail_fraction: float | None = 0.25
+    max_pair_fraction: float | None = 0.6
+    min_agreement_f1: float | None = 0.97
+    require_exact_identity: bool = True
+
+    def violations(self, report: "StreamingReport") -> list[str]:
+        found: list[str] = []
+        audit = report.audit
+        if (
+            self.require_exact_identity
+            and report.mode == BlockingMode.EXACT.value
+            and not audit.get("identical", False)
+        ):
+            found.append(
+                "exact-mode streamed partition diverges from full recluster"
+            )
+        if not audit.get("signatures_identical", False) and report.mode == BlockingMode.EXACT.value:
+            found.append(
+                "exact-mode streamed signatures diverge from full recluster"
+            )
+        if (
+            self.min_agreement_f1 is not None
+            and audit.get("f1", 0.0) < self.min_agreement_f1
+        ):
+            found.append(
+                f"partition agreement F1 {audit.get('f1', 0.0):.4f} "
+                f"< {self.min_agreement_f1:.4f}"
+            )
+        if self.min_scale is not None and report.scale < self.min_scale:
+            found.append(
+                f"corpus scale {report.scale:.1f}x < {self.min_scale:.1f}x "
+                f"over baseline M={report.baseline_m}"
+            )
+        if (
+            self.max_attach_tail_ratio is not None
+            and report.attach_tail_ratio > self.max_attach_tail_ratio
+        ):
+            found.append(
+                f"attach cost grew {report.attach_tail_ratio:.2f}x tail/head "
+                f"> {self.max_attach_tail_ratio:.2f}x (not sub-linear)"
+            )
+        if (
+            self.max_attach_tail_fraction is not None
+            and report.attach_tail_fraction > self.max_attach_tail_fraction
+        ):
+            found.append(
+                f"tail attach pairs/item are {report.attach_tail_fraction:.2f} "
+                f"of M > {self.max_attach_tail_fraction:.2f} (near-linear probe cost)"
+            )
+        if (
+            self.max_pair_fraction is not None
+            and report.pair_fraction > self.max_pair_fraction
+        ):
+            found.append(
+                f"evaluated {report.pair_fraction:.2f} of the full pair space "
+                f"> {self.max_pair_fraction:.2f}"
+            )
+        return found
+
+    def to_dict(self) -> dict:
+        return {
+            "min_scale": self.min_scale,
+            "max_attach_tail_ratio": self.max_attach_tail_ratio,
+            "max_attach_tail_fraction": self.max_attach_tail_fraction,
+            "max_pair_fraction": self.max_pair_fraction,
+            "min_agreement_f1": self.min_agreement_f1,
+            "require_exact_identity": self.require_exact_identity,
+        }
+
+
+@dataclass(slots=True)
+class StreamingReport:
+    """One streaming bench run, ready for ``BENCH_streaming.json``."""
+
+    n_apps: int
+    seed: int
+    mode: str
+    threshold: float
+    linkage: str
+    baseline_m: int
+    m_total: int
+    base: int
+    batch_size: int
+    n_batches: int
+    compact_every: int
+    workers: int
+    cpu_count: int
+    stream_total_s: float
+    full_recluster_s: float
+    batches: list[dict] = field(default_factory=list)
+    blocking: dict = field(default_factory=dict)
+    streaming_stats: dict = field(default_factory=dict)
+    audit: dict = field(default_factory=dict)
+    budget: dict = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def scale(self) -> float:
+        """Corpus growth over the perf bench's baseline M."""
+        return self.m_total / self.baseline_m if self.baseline_m else 0.0
+
+    @property
+    def full_pairs(self) -> int:
+        return self.m_total * (self.m_total - 1) // 2
+
+    @property
+    def pairs_evaluated(self) -> int:
+        return int(self.streaming_stats.get("pairs_evaluated", 0))
+
+    @property
+    def pair_fraction(self) -> float:
+        return self.pairs_evaluated / self.full_pairs if self.full_pairs else 0.0
+
+    @property
+    def naive_recompute_pairs(self) -> int:
+        """Pairs a recluster-from-scratch-per-batch strategy would cost."""
+        total = 0
+        for batch in self.batches:
+            m_after = batch["m_after"]
+            total += m_after * (m_after - 1) // 2
+        return total
+
+    def _extension_batches(self) -> list[dict]:
+        return [b for b in self.batches if b["batch"] > 0]
+
+    @property
+    def attach_head_per_item(self) -> float:
+        ext = self._extension_batches()
+        if not ext or not ext[0]["batch_size"]:
+            return 0.0
+        return ext[0]["attach_pairs"] / ext[0]["batch_size"]
+
+    @property
+    def attach_tail_per_item(self) -> float:
+        ext = self._extension_batches()
+        if not ext or not ext[-1]["batch_size"]:
+            return 0.0
+        return ext[-1]["attach_pairs"] / ext[-1]["batch_size"]
+
+    @property
+    def attach_tail_ratio(self) -> float:
+        """Per-item attach cost growth, last extension batch vs first."""
+        head = self.attach_head_per_item
+        return self.attach_tail_per_item / head if head else 0.0
+
+    @property
+    def attach_tail_fraction(self) -> float:
+        """Tail per-item attach pairs relative to the population then."""
+        ext = self._extension_batches()
+        if not ext or not ext[-1]["m_before"]:
+            return 0.0
+        return self.attach_tail_per_item / ext[-1]["m_before"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": "streaming",
+            "corpus": {"n_apps": self.n_apps, "seed": self.seed},
+            "mode": self.mode,
+            "threshold": self.threshold,
+            "linkage": self.linkage,
+            "baseline_m": self.baseline_m,
+            "m_total": self.m_total,
+            "scale": round(self.scale, 2),
+            "base": self.base,
+            "batch_size": self.batch_size,
+            "n_batches": self.n_batches,
+            "compact_every": self.compact_every,
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
+            "timings_s": {
+                "stream_total": round(self.stream_total_s, 4),
+                "full_recluster": round(self.full_recluster_s, 4),
+            },
+            "recompute": {
+                "pairs_evaluated": self.pairs_evaluated,
+                "full_pairs": self.full_pairs,
+                "pair_fraction": round(self.pair_fraction, 4),
+                "naive_recompute_pairs": self.naive_recompute_pairs,
+                "naive_ratio": round(
+                    self.pairs_evaluated / self.naive_recompute_pairs, 4
+                )
+                if self.naive_recompute_pairs
+                else 0.0,
+                "attach_head_per_item": round(self.attach_head_per_item, 2),
+                "attach_tail_per_item": round(self.attach_tail_per_item, 2),
+                "attach_tail_ratio": round(self.attach_tail_ratio, 4),
+                "attach_tail_fraction": round(self.attach_tail_fraction, 4),
+            },
+            "batches": self.batches,
+            "blocking": self.blocking,
+            "streaming_stats": self.streaming_stats,
+            "audit": self.audit,
+            "identical": bool(self.audit.get("identical", False)),
+            "budget": self.budget,
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+    def audit_dict(self) -> dict:
+        """The audit alone, for the standalone CI artifact."""
+        return {
+            "bench": "streaming_audit",
+            "corpus": {"n_apps": self.n_apps, "seed": self.seed},
+            "mode": self.mode,
+            "threshold": self.threshold,
+            "m_total": self.m_total,
+            "audit": self.audit,
+            "identical": bool(self.audit.get("identical", False)),
+            "ok": self.ok,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def save_audit(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.audit_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def render(self) -> str:
+        """Fixed-width human summary, in the repo's report style."""
+        lines = [
+            "Streaming bench — blocked attach + dirty-block compaction",
+            f"  corpus apps={self.n_apps} M={self.m_total} "
+            f"({self.scale:.1f}x baseline M={self.baseline_m}) "
+            f"mode={self.mode} threshold={self.threshold}",
+            f"  batches base={self.base} +{self.n_batches}x{self.batch_size} "
+            f"compact_every={self.compact_every} workers={self.workers} "
+            f"cpus={self.cpu_count}",
+            f"  pairs evaluated : {self.pairs_evaluated} "
+            f"({self.pair_fraction:.1%} of full {self.full_pairs}; "
+            f"{self.pairs_evaluated / max(1, self.naive_recompute_pairs):.1%} "
+            "of naive per-batch recompute)",
+            f"  attach pairs/item: head {self.attach_head_per_item:.1f} "
+            f"-> tail {self.attach_tail_per_item:.1f} "
+            f"(ratio {self.attach_tail_ratio:.2f}, "
+            f"{self.attach_tail_fraction:.1%} of M)",
+            f"  wall clock      : stream {self.stream_total_s:.2f}s, "
+            f"full recluster {self.full_recluster_s:.2f}s",
+            f"  audit           : identical={self.audit.get('identical')} "
+            f"signatures_identical={self.audit.get('signatures_identical')} "
+            f"f1={self.audit.get('f1'):.4f} "
+            f"clusters {self.audit.get('n_clusters_stream')}/"
+            f"{self.audit.get('n_clusters_full')}",
+        ]
+        if self.violations:
+            lines.append("  BUDGET VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  budget: ok")
+        return "\n".join(lines)
+
+
+def run_streaming_bench(
+    *,
+    n_apps: int = 300,
+    base: int = 256,
+    batch_size: int = 128,
+    batches: int = 14,
+    threshold: float = 1.2,
+    mode: BlockingMode = BlockingMode.EXACT,
+    compact_every: int = 4,
+    workers: int = 1,
+    seed: int = 7,
+    baseline_m: int = 200,
+    budget: StreamingBudget | None = None,
+    obs: Observability | None = None,
+) -> StreamingReport:
+    """Stream ``base + batches x batch_size`` packets, then audit exactly.
+
+    Deterministic for a ``(n_apps, seed)``: the same packets stream in
+    the same order on every run, so pair counts — everything the budget
+    gates on — are reproducible anywhere.
+    """
+    from repro.simulation.corpus import build_corpus
+
+    budget = budget or StreamingBudget()
+    corpus = build_corpus(n_apps=n_apps, seed=seed)
+    suspicious, __ = corpus.payload_check().split(corpus.trace)
+    m_total = base + batch_size * batches
+    if len(suspicious) < m_total:
+        raise ValueError(
+            f"corpus has {len(suspicious)} suspicious packets, "
+            f"need {m_total}; raise n_apps"
+        )
+    packets = suspicious[:m_total]
+
+    blocking = BlockingConfig(mode=mode, threshold=threshold)
+    config = StreamingConfig(blocking=blocking, compact_every=compact_every)
+    metric = PacketDistance.paper()
+    clusterer = StreamingClusterer(
+        metric,
+        config,
+        engine=DistanceEngine(metric, workers=workers),
+        obs=obs,
+    )
+
+    clock = time.perf_counter
+    batch_rows: list[dict] = []
+    stream_t0 = clock()
+    tranches = [packets[:base]] + [
+        packets[base + i * batch_size : base + (i + 1) * batch_size]
+        for i in range(batches)
+    ]
+    for number, tranche in enumerate(tranches):
+        m_before = len(clusterer)
+        attach_before = clusterer.stats.attach_pairs_evaluated
+        compact_before = clusterer.stats.compact_pairs_evaluated
+        t0 = clock()
+        batch_report = clusterer.ingest(tranche)
+        batch_rows.append(
+            {
+                "batch": number,
+                "batch_size": len(tranche),
+                "m_before": m_before,
+                "m_after": len(clusterer),
+                "attach_pairs": clusterer.stats.attach_pairs_evaluated - attach_before,
+                "compact_pairs": clusterer.stats.compact_pairs_evaluated - compact_before,
+                "attached": batch_report.attached,
+                "new_clusters": batch_report.new_clusters,
+                "blocks_merged": batch_report.blocks_merged,
+                "compacted": batch_report.compacted,
+                "seconds": round(clock() - t0, 4),
+            }
+        )
+    clusterer.compact(full=True)
+    stream_total_s = clock() - stream_t0
+    stream_partition = clusterer.partition()
+
+    # The audit arm: a full recluster over everything the stream saw.
+    t0 = clock()
+    full_matrix = DistanceEngine(metric, workers=workers).matrix(packets)
+    dendrogram = agglomerate(full_matrix, config.linkage)
+    full_partition = sorted(
+        (sorted(dendrogram.leaves(node)) for node in cut_by_height(dendrogram, threshold)),
+        key=lambda cluster: cluster[0],
+    )
+    full_recluster_s = clock() - t0
+
+    audit = partition_agreement(stream_partition, full_partition, m_total)
+    generator = SignatureGenerator(GeneratorConfig(cut_height=threshold))
+    stream_signatures = generator.from_clusters(
+        [[packets[i] for i in cluster] for cluster in stream_partition]
+    )
+    full_signatures = generator.from_clusters(
+        [[packets[i] for i in cluster] for cluster in full_partition]
+    )
+    audit["signatures_identical"] = SignatureStore.dumps(
+        stream_signatures
+    ) == SignatureStore.dumps(full_signatures)
+    audit["n_signatures"] = len(stream_signatures)
+
+    assignment = assign_blocks(packets, metric, blocking)
+    report = StreamingReport(
+        n_apps=n_apps,
+        seed=seed,
+        mode=mode.value,
+        threshold=threshold,
+        linkage=config.linkage.value,
+        baseline_m=baseline_m,
+        m_total=m_total,
+        base=base,
+        batch_size=batch_size,
+        n_batches=batches,
+        compact_every=compact_every,
+        workers=workers,
+        cpu_count=cpu_count(),
+        stream_total_s=stream_total_s,
+        full_recluster_s=full_recluster_s,
+        batches=batch_rows,
+        blocking=assignment.stats.to_dict() | blocking.to_dict(),
+        streaming_stats=clusterer.stats.to_dict(),
+        audit=audit,
+        budget=budget.to_dict(),
+    )
+    report.violations = budget.violations(report)
+    return report

@@ -27,6 +27,11 @@ class GeneratorConfig:
 
     :param cut_fraction: height cut as a fraction of the root height; the
         default keeps tight, module-coherent clusters.
+    :param cut_height: absolute height cut overriding ``cut_fraction``
+        when set.  Blocked/streaming clustering keys on an absolute
+        linkage threshold (a relative fraction would shift with the
+        fill-valued cross-block merges), so signature generation must cut
+        at the same absolute height to agree with it.
     :param min_cluster_size: clusters below this size yield no signature
         (a single packet has no *common* substring structure; memorizing it
         whole would overfit — the exact-match baseline does that instead).
@@ -39,6 +44,7 @@ class GeneratorConfig:
     """
 
     cut_fraction: float = 0.35
+    cut_height: float | None = None
     min_cluster_size: int = 2
     token_filter: TokenFilter = field(default_factory=TokenFilter)
     scope_to_domain: bool = True
@@ -86,7 +92,10 @@ class SignatureGenerator:
             raise SignatureError(
                 f"dendrogram has {dendrogram.n_leaves} leaves but {len(packets)} packets given"
             )
-        cut_height = self.config.cut_fraction * dendrogram.height(dendrogram.root)
+        if self.config.cut_height is not None:
+            cut_height = self.config.cut_height
+        else:
+            cut_height = self.config.cut_fraction * dendrogram.height(dendrogram.root)
         nodes = cut_min_size(dendrogram, cut_height, self.config.min_cluster_size)
         if not nodes and dendrogram.n_leaves >= self.config.min_cluster_size:
             # Degenerate tree: every merge at (nearly) the same height — all

@@ -1,0 +1,100 @@
+"""The bench-drift gate: committed BENCH_*.json reports must stay valid."""
+
+import json
+from pathlib import Path
+
+from repro.eval.benchcheck import (
+    REQUIRED_FIELDS,
+    TRUE_FLAGS,
+    check_file,
+    check_report,
+    check_tree,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def streaming_payload(**overrides) -> dict:
+    payload = {name: object() for name in REQUIRED_FIELDS["streaming"]}
+    payload.update(
+        bench="streaming", identical=True, ok=True, violations=[]
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestCheckReport:
+    def test_valid_report_is_clean(self):
+        assert check_report(streaming_payload()) == []
+
+    def test_every_family_declares_its_flags(self):
+        assert set(TRUE_FLAGS) == set(REQUIRED_FIELDS)
+        for family, flags in TRUE_FLAGS.items():
+            assert set(flags) <= set(REQUIRED_FIELDS[family])
+
+    def test_missing_field_is_drift(self):
+        payload = streaming_payload()
+        del payload["audit"]
+        problems = check_report(payload)
+        assert any("'audit'" in p for p in problems)
+
+    def test_false_flag_is_drift(self):
+        problems = check_report(streaming_payload(identical=False))
+        assert any("'identical'" in p and "must be true" in p for p in problems)
+
+    def test_lingering_violations_are_drift(self):
+        problems = check_report(streaming_payload(violations=["too slow"]))
+        assert any("violations" in p for p in problems)
+
+    def test_unknown_family_is_drift(self):
+        problems = check_report(streaming_payload(bench="mystery"))
+        assert any("unknown bench family" in p for p in problems)
+
+    def test_missing_discriminator_is_drift(self):
+        assert check_report({"ok": True}) == [
+            "missing or non-string 'bench' discriminator field"
+        ]
+
+    def test_non_object_payload_is_drift(self):
+        assert any("expected an object" in p for p in check_report([1, 2]))
+
+
+class TestCheckFile:
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert any("unreadable" in p for p in check_file(path))
+
+    def test_missing_file(self, tmp_path):
+        assert any("unreadable" in p for p in check_file(tmp_path / "BENCH_x.json"))
+
+    def test_valid_file(self, tmp_path):
+        path = tmp_path / "BENCH_streaming.json"
+        path.write_text(
+            json.dumps(streaming_payload(), default=lambda o: None),
+            encoding="utf-8",
+        )
+        assert check_file(path) == []
+
+
+class TestCheckTree:
+    def test_empty_tree_returns_empty_mapping(self, tmp_path):
+        assert check_tree(tmp_path) == {}
+
+    def test_mixed_tree(self, tmp_path):
+        good = tmp_path / "BENCH_streaming.json"
+        good.write_text(
+            json.dumps(streaming_payload(), default=lambda o: None),
+            encoding="utf-8",
+        )
+        bad = tmp_path / "BENCH_drifted.json"
+        bad.write_text(json.dumps({"bench": "streaming"}), encoding="utf-8")
+        results = check_tree(tmp_path)
+        assert results["BENCH_streaming.json"] == []
+        assert results["BENCH_drifted.json"]
+
+    def test_committed_reports_are_clean(self):
+        """The actual trajectory of record must pass its own gate."""
+        results = check_tree(REPO_ROOT)
+        assert "BENCH_streaming.json" in results
+        assert {name: problems for name, problems in results.items() if problems} == {}

@@ -464,3 +464,40 @@ class TestMetrics:
         data = json.loads(capsys.readouterr().out)
         assert data["counters"]["flow_decisions"] > 0
         assert data["events"] == 150
+
+
+class TestStream:
+    def test_quick_run_writes_report_and_audit(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_streaming.json"
+        audit_out = tmp_path / "AUDIT_streaming.json"
+        code = main(
+            [
+                "stream", "--quick", "--apps", "40", "--base", "40",
+                "--batch", "20", "--batches", "2", "--seed", "3",
+                "--out", str(out), "--audit-out", str(audit_out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Streaming bench" in text
+        assert "budget: ok" in text
+        report = json.loads(out.read_text())
+        assert report["bench"] == "streaming"
+        assert report["identical"] is True
+        assert report["ok"] is True
+        audit = json.loads(audit_out.read_text())
+        assert audit["bench"] == "streaming_audit"
+        assert audit["audit"]["signatures_identical"] is True
+
+    def test_stream_json_output(self, capsys):
+        code = main(
+            [
+                "stream", "--quick", "--apps", "40", "--base", "40",
+                "--batch", "20", "--batches", "1", "--seed", "3", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mode"] == "exact"
+        assert data["audit"]["f1"] == 1.0
+        assert data["recompute"]["pairs_evaluated"] < data["recompute"]["full_pairs"]

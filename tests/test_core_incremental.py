@@ -117,6 +117,52 @@ class TestConsolidationMatrixCache:
         assert incset.consolidate() == 0
         assert incset.consolidation_material == 0
 
+    def test_over_ceiling_prunes_and_extends_cached_matrix(self):
+        """Regression: overflowing the material cap used to throw the whole
+        cached matrix away and recompute every pair from scratch.  Now the
+        cache is pruned to the surviving window and extended via
+        ``DistanceEngine.extend`` — old surviving pairs are never paid twice."""
+        import numpy as np
+
+        from repro.distance.engine import DistanceEngine
+        from repro.distance.packet import PacketDistance
+
+        incset = IncrementalSignatureSet(max_consolidation_material=12)
+        incset.update([module_packet("alpha", i) for i in range(8)])
+        incset.update([module_packet("alpha", i) for i in range(8, 16)])
+        incset.consolidate()
+        assert incset.consolidation_material > 0
+        incset.update([module_packet("beta", i) for i in range(8)])
+        incset.update([module_packet("beta", i) for i in range(8, 16)])
+        pairs_before = incset._consolidation.engine.stats.n_pairs
+        incset.consolidate()
+        pairs_added = incset._consolidation.engine.stats.n_pairs - pairs_before
+        material = incset.consolidation_material
+        assert material <= 12
+        # The cached matrix stays bit-identical to a from-scratch build...
+        reference = DistanceEngine(PacketDistance.paper()).matrix(
+            incset._consolidation.items
+        )
+        assert np.array_equal(incset._consolidation.matrix.values, reference.values)
+        # ...while only the new-pair block was computed, not all pairs.
+        assert 0 < pairs_added < material * (material - 1) // 2
+
+    def test_over_ceiling_without_cached_matrix_rebuilds(self):
+        """The cache-miss path: no matrix survives to extend, so the window
+        is rebuilt outright — and the cache is coherent afterwards."""
+        incset = IncrementalSignatureSet(max_consolidation_material=12)
+        incset.update([module_packet("alpha", i) for i in range(8)])
+        incset.update([module_packet("alpha", i) for i in range(8, 16)])
+        incset.consolidate()
+        incset._consolidation.matrix = None  # simulate a lost cache
+        incset.update([module_packet("beta", i) for i in range(8)])
+        incset.update([module_packet("beta", i) for i in range(8, 16)])
+        incset.consolidate()
+        material = incset.consolidation_material
+        assert 0 < material <= 12
+        matrix = incset._consolidation.matrix
+        assert matrix is not None and matrix.n == material
+
 
 class TestOnCorpus:
     def test_streaming_matches_batch_quality(self, small_corpus, small_split):

@@ -1,0 +1,199 @@
+"""Blocked matrices and the sparse pair stream.
+
+Two contracts: every within-block entry of a blocked matrix is
+bit-identical to the full build (blocking never changes a distance it
+keeps), and a threshold cut of the blocked matrix yields the same flat
+clusters as the full matrix — the exact-mode losslessness proof made
+operational.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cut import cut_by_height
+from repro.clustering.linkage import Linkage, agglomerate
+from repro.distance.blocking import BlockingConfig, BlockingMode
+from repro.distance.engine import DistanceEngine, MatrixCache, PairStream
+from repro.distance.matrix import distance_matrix
+from repro.distance.packet import PacketDistance
+from repro.errors import DistanceError
+
+THRESHOLD = 1.2
+
+
+@pytest.fixture(scope="module")
+def packets(small_split):
+    suspicious, __ = small_split
+    return list(suspicious[:80])
+
+
+@pytest.fixture(scope="module")
+def full(packets):
+    return DistanceEngine(PacketDistance.paper()).matrix(packets)
+
+
+def flat_clusters(matrix, linkage=Linkage.GROUP_AVERAGE):
+    dendrogram = agglomerate(matrix, linkage)
+    return sorted(
+        (sorted(dendrogram.leaves(node)) for node in cut_by_height(dendrogram, THRESHOLD)),
+        key=lambda cluster: cluster[0],
+    )
+
+
+class TestBlockedMatrix:
+    def test_within_block_values_bit_identical(self, packets, full):
+        engine = DistanceEngine(PacketDistance.paper())
+        blocking = BlockingConfig(threshold=THRESHOLD)
+        blocked, assignment = engine.blocked_matrix(packets, blocking=blocking)
+        fill = blocking.fill_value(engine.metric)
+        for block in assignment.blocks:
+            for a in range(len(block)):
+                for b in range(a + 1, len(block)):
+                    assert blocked.get(block[a], block[b]) == full.get(
+                        block[a], block[b]
+                    )
+        # Cross-block entries are the fill value, nothing else.
+        filled = int(np.count_nonzero(blocked.values == fill))
+        assert filled >= assignment.stats.pairs_pruned
+
+    @pytest.mark.parametrize(
+        "linkage", [Linkage.GROUP_AVERAGE, Linkage.SINGLE, Linkage.COMPLETE]
+    )
+    def test_threshold_cut_identical_to_full(self, packets, full, linkage):
+        engine = DistanceEngine(PacketDistance.paper())
+        blocked, __ = engine.blocked_matrix(
+            packets, blocking=BlockingConfig(threshold=THRESHOLD)
+        )
+        assert flat_clusters(blocked, linkage) == flat_clusters(full, linkage)
+
+    def test_lsh_mode_cut_agrees_within_audit_floor(self, packets, full):
+        # LSH is approximate — the contract is the audited agreement floor
+        # the streaming budget enforces, not identity.
+        from repro.eval.streaming import partition_agreement
+
+        engine = DistanceEngine(PacketDistance.paper())
+        blocked, assignment = engine.blocked_matrix(
+            packets,
+            blocking=BlockingConfig(mode=BlockingMode.LSH, threshold=THRESHOLD),
+        )
+        assert assignment.stats.pairs_pruned > 0
+        agreement = partition_agreement(
+            flat_clusters(blocked), flat_clusters(full), len(packets)
+        )
+        assert agreement["f1"] >= 0.97
+
+    def test_stats_surface_pruning(self, packets):
+        engine = DistanceEngine(PacketDistance.paper())
+        __, assignment = engine.blocked_matrix(
+            packets, blocking=BlockingConfig(threshold=THRESHOLD)
+        )
+        assert engine.stats.n_blocks == assignment.stats.n_blocks > 1
+        assert engine.stats.pairs_pruned == assignment.stats.pairs_pruned > 0
+        data = engine.stats.to_dict()
+        assert data["n_blocks"] == assignment.stats.n_blocks
+        assert data["pairs_pruned"] == assignment.stats.pairs_pruned
+
+    def test_parallel_build_bit_identical(self, packets):
+        blocking = BlockingConfig(threshold=THRESHOLD)
+        serial, __ = DistanceEngine(PacketDistance.paper()).blocked_matrix(
+            packets, blocking=blocking
+        )
+        parallel, __ = DistanceEngine(
+            PacketDistance.paper(), workers=2, chunk_pairs=64
+        ).blocked_matrix(packets, blocking=blocking)
+        assert np.array_equal(serial.values, parallel.values)
+
+
+class TestSubset:
+    def test_subset_matches_direct_build(self, packets, full):
+        indices = [3, 11, 12, 40, 41, 77]
+        sub = full.subset(indices)
+        direct = distance_matrix(
+            [packets[i] for i in indices], PacketDistance.paper()
+        )
+        assert sub.n == len(indices)
+        assert np.array_equal(sub.values, direct.values)
+
+    def test_subset_under_two_items_is_empty(self, full):
+        assert full.subset([5]).n == 1
+        assert full.subset([]).n == 0
+        assert full.subset([5]).values.size == 0
+
+    def test_subset_rejects_out_of_range(self, full):
+        with pytest.raises(DistanceError):
+            full.subset([0, full.n])
+
+    def test_subset_rejects_duplicates(self, full):
+        with pytest.raises(DistanceError):
+            full.subset([4, 4])
+
+
+class TestMatrixCachePrune:
+    def test_prune_keeps_exact_values_and_extends(self, packets):
+        cache = MatrixCache(DistanceEngine(PacketDistance.paper()))
+        cache.add(packets[:10])
+        cache.prune(range(4, 10))
+        reference = DistanceEngine(PacketDistance.paper()).matrix(packets[4:10])
+        assert len(cache) == 6
+        assert np.array_equal(cache.matrix.values, reference.values)
+        # A later add extends from the pruned state, not from scratch.
+        cache.add(packets[10:14])
+        extended_reference = DistanceEngine(PacketDistance.paper()).matrix(
+            packets[4:14]
+        )
+        assert np.array_equal(cache.matrix.values, extended_reference.values)
+
+    def test_prune_without_matrix_trims_items_only(self, packets):
+        cache = MatrixCache(DistanceEngine(PacketDistance.paper()))
+        cache.items = list(packets[:6])
+        assert cache.prune([2, 3]) is None
+        assert len(cache) == 2
+
+
+class TestPairStream:
+    def test_distances_bit_identical_to_full(self, packets, full):
+        stream = PairStream(DistanceEngine(PacketDistance.paper()))
+        stream.extend(packets)
+        pairs = [(0, 1), (5, 40), (79, 3), (17, 17)]
+        values = stream.distances(pairs)
+        for (i, j), value in zip(pairs, values):
+            expected = 0.0 if i == j else full.get(i, j)
+            assert value == expected
+
+    def test_pairs_evaluated_at_most_once(self, packets):
+        stream = PairStream(DistanceEngine(PacketDistance.paper()))
+        stream.extend(packets[:20])
+        stream.distances([(0, 1), (2, 3)])
+        assert stream.pairs_evaluated == 2
+        stream.distances([(1, 0), (2, 3), (4, 5)])  # two repeats, one new
+        assert stream.pairs_evaluated == 3
+        assert stream.cache_hits == 2
+
+    def test_matrix_over_indices_matches_subset(self, packets, full):
+        stream = PairStream(DistanceEngine(PacketDistance.paper()))
+        stream.extend(packets)
+        indices = [2, 9, 30, 55, 60]
+        assert np.array_equal(
+            stream.matrix(indices).values, full.subset(indices).values
+        )
+
+    def test_incremental_extend_equals_fresh(self, packets, full):
+        grown = PairStream(DistanceEngine(PacketDistance.paper()))
+        grown.extend(packets[:30])
+        grown.extend(packets[30:])
+        fresh = PairStream(DistanceEngine(PacketDistance.paper()))
+        fresh.extend(packets)
+        pairs = [(0, 79), (29, 30), (10, 50)]
+        assert np.array_equal(grown.distances(pairs), fresh.distances(pairs))
+        for (i, j), value in zip(pairs, grown.distances(pairs)):
+            assert value == full.get(i, j)
+
+    def test_large_miss_batches_use_engine_dispatch(self, packets, full):
+        stream = PairStream(
+            DistanceEngine(PacketDistance.paper(), workers=2, chunk_pairs=16)
+        )
+        stream.extend(packets)
+        pairs = [(i, j) for i in range(10) for j in range(i + 1, 12)]
+        values = stream.distances(pairs)
+        for (i, j), value in zip(pairs, values):
+            assert value == full.get(i, j)

@@ -1,0 +1,219 @@
+"""The streaming bench harness, its agreement metric, and its gates."""
+
+import json
+
+import pytest
+
+from repro.distance.blocking import BlockingMode
+from repro.eval.benchcheck import check_report
+from repro.eval.streaming import (
+    StreamingBudget,
+    StreamingReport,
+    partition_agreement,
+    run_streaming_bench,
+)
+
+
+class TestPartitionAgreement:
+    def test_identical_partitions(self):
+        partition = [[0, 1, 2], [3, 4]]
+        result = partition_agreement(partition, [[3, 4], [0, 1, 2]], 5)
+        assert result["identical"] is True
+        assert result["precision"] == result["recall"] == result["f1"] == 1.0
+        assert result["rand_index"] == 1.0
+
+    def test_split_cluster_scores(self):
+        # ours splits the reference's single 4-cluster into two halves:
+        # all our co-pairs are true (precision 1), 2 of 6 survive (recall
+        # 1/3), F1 = 0.5, and 2 of 6 pairwise decisions agree.
+        result = partition_agreement([[0, 1], [2, 3]], [[0, 1, 2, 3]], 4)
+        assert result["identical"] is False
+        assert result["precision"] == 1.0
+        assert result["recall"] == pytest.approx(1 / 3)
+        assert result["f1"] == pytest.approx(0.5)
+        assert result["rand_index"] == pytest.approx(1 / 3)
+
+    def test_all_singletons_vs_one_cluster(self):
+        result = partition_agreement([[0], [1], [2]], [[0, 1, 2]], 3)
+        assert result["precision"] == 1.0  # vacuous: no same-pairs claimed
+        assert result["recall"] == 0.0
+        assert result["n_clusters_stream"] == 3
+        assert result["n_clusters_full"] == 1
+
+
+def make_report(**overrides) -> StreamingReport:
+    """A healthy synthetic report; overrides inject specific failures."""
+    values = dict(
+        n_apps=300,
+        seed=7,
+        mode="exact",
+        threshold=1.2,
+        linkage="average",
+        baseline_m=200,
+        m_total=2048,
+        base=256,
+        batch_size=128,
+        n_batches=2,
+        compact_every=4,
+        workers=1,
+        cpu_count=8,
+        stream_total_s=10.0,
+        full_recluster_s=70.0,
+        batches=[
+            {"batch": 0, "batch_size": 256, "m_before": 0, "m_after": 256,
+             "attach_pairs": 2000, "compact_pairs": 5000},
+            {"batch": 1, "batch_size": 128, "m_before": 256, "m_after": 384,
+             "attach_pairs": 1280, "compact_pairs": 3000},
+            {"batch": 2, "batch_size": 128, "m_before": 1920, "m_after": 2048,
+             "attach_pairs": 1536, "compact_pairs": 3000},
+        ],
+        blocking={"n_blocks": 20},
+        streaming_stats={"pairs_evaluated": 400_000},
+        audit={
+            "identical": True,
+            "signatures_identical": True,
+            "f1": 1.0,
+            "n_clusters_stream": 25,
+            "n_clusters_full": 25,
+        },
+        budget=StreamingBudget().to_dict(),
+    )
+    values.update(overrides)
+    return StreamingReport(**values)
+
+
+class TestStreamingBudget:
+    def test_healthy_report_passes(self):
+        assert StreamingBudget().violations(make_report()) == []
+
+    def test_exact_mode_divergence_always_fails(self):
+        report = make_report(audit={"identical": False, "f1": 1.0,
+                                    "signatures_identical": True})
+        violations = StreamingBudget(min_agreement_f1=None).violations(report)
+        assert any("diverges" in v for v in violations)
+
+    def test_signature_divergence_fails_exact_mode(self):
+        report = make_report(audit={"identical": True, "f1": 1.0,
+                                    "signatures_identical": False})
+        violations = StreamingBudget().violations(report)
+        assert any("signatures" in v for v in violations)
+
+    def test_lsh_mode_gates_on_f1_not_identity(self):
+        report = make_report(
+            mode="lsh",
+            audit={"identical": False, "f1": 0.99, "signatures_identical": False},
+        )
+        assert StreamingBudget().violations(report) == []
+        report = make_report(
+            mode="lsh",
+            audit={"identical": False, "f1": 0.5, "signatures_identical": False},
+        )
+        assert any("F1" in v for v in StreamingBudget().violations(report))
+
+    def test_scale_floor(self):
+        report = make_report(m_total=384)
+        assert any("scale" in v for v in StreamingBudget().violations(report))
+
+    def test_attach_tail_ratio_ceiling(self):
+        batches = make_report().batches
+        batches[-1]["attach_pairs"] = 1280 * 4  # 4x head cost per item
+        report = make_report(batches=batches)
+        assert any("tail/head" in v for v in StreamingBudget().violations(report))
+
+    def test_attach_tail_fraction_ceiling(self):
+        batches = make_report().batches
+        batches[-1]["attach_pairs"] = 128 * 1900  # ~M pairs per item
+        report = make_report(batches=batches)
+        violations = StreamingBudget(max_attach_tail_ratio=None).violations(report)
+        assert any("near-linear" in v for v in violations)
+
+    def test_pair_fraction_ceiling(self):
+        report = make_report(streaming_stats={"pairs_evaluated": 2_000_000})
+        assert any("pair space" in v for v in StreamingBudget().violations(report))
+
+    def test_none_disables_a_gate(self):
+        report = make_report(
+            m_total=384, streaming_stats={"pairs_evaluated": 30_000}
+        )
+        assert StreamingBudget(min_scale=None).violations(report) == []
+
+
+class TestStreamingReport:
+    def test_derived_quantities(self):
+        report = make_report()
+        assert report.scale == pytest.approx(2048 / 200)
+        assert report.full_pairs == 2048 * 2047 // 2
+        assert report.attach_head_per_item == pytest.approx(10.0)
+        assert report.attach_tail_per_item == pytest.approx(12.0)
+        assert report.attach_tail_ratio == pytest.approx(1.2)
+        assert report.attach_tail_fraction == pytest.approx(12.0 / 1920)
+        assert report.naive_recompute_pairs == sum(
+            b["m_after"] * (b["m_after"] - 1) // 2 for b in report.batches
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        report = make_report()
+        data = json.loads(report.save(tmp_path / "BENCH_streaming.json").read_text())
+        assert data["bench"] == "streaming"
+        assert data["identical"] is True
+        assert data["scale"] == 10.24
+        assert data["recompute"]["pairs_evaluated"] == 400_000
+        assert data["ok"] is True
+        audit = json.loads(
+            report.save_audit(tmp_path / "AUDIT_streaming.json").read_text()
+        )
+        assert audit["bench"] == "streaming_audit"
+        assert audit["identical"] is True
+
+    def test_reports_satisfy_the_drift_schema(self):
+        report = make_report()
+        assert check_report(report.to_dict()) == []
+        assert check_report(report.audit_dict()) == []
+
+    def test_render_mentions_gates(self):
+        text = make_report().render()
+        assert "audit" in text
+        assert "budget: ok" in text
+        failing = make_report(m_total=384)
+        failing.violations = StreamingBudget().violations(failing)
+        assert "BUDGET VIOLATIONS" in failing.render()
+
+
+class TestRunStreamingBench:
+    def test_micro_run_is_exact_and_sublinear(self):
+        report = run_streaming_bench(
+            n_apps=40,
+            base=40,
+            batch_size=20,
+            batches=2,
+            workers=1,
+            seed=3,
+            budget=StreamingBudget(min_scale=None),
+        )
+        assert report.m_total == 80
+        assert report.audit["identical"] is True
+        assert report.audit["signatures_identical"] is True
+        assert report.audit["f1"] == 1.0
+        assert report.pairs_evaluated < report.full_pairs
+        assert report.violations == []
+        assert len(report.batches) == 3
+        assert report.batches[-1]["m_after"] == 80
+
+    def test_lsh_mode_is_audited_not_assumed(self):
+        report = run_streaming_bench(
+            n_apps=40,
+            base=40,
+            batch_size=20,
+            batches=1,
+            mode=BlockingMode.LSH,
+            workers=1,
+            seed=3,
+            budget=StreamingBudget(min_scale=None, require_exact_identity=False),
+        )
+        assert report.mode == "lsh"
+        assert report.audit["f1"] >= 0.97
+        assert report.ok
+
+    def test_too_small_corpus_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_streaming_bench(n_apps=5, base=4000, batch_size=10, batches=1)
