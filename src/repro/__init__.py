@@ -50,6 +50,7 @@ from repro.sensitive.payload_check import PayloadCheck
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.matcher import ProbabilisticMatcher, SignatureMatcher
 from repro.signatures.store import SignatureStore
+from repro.service.server import ServiceServer, SignatureService
 from repro.simulation.corpus import Corpus, build_corpus, mini_corpus, paper_corpus
 from repro.supervision import CheckpointStore, CrashPlan, StagedPipeline, Supervisor
 
@@ -105,6 +106,9 @@ __all__ = [
     "CrashPlan",
     "StagedPipeline",
     "Supervisor",
+    # network service
+    "SignatureService",
+    "ServiceServer",
     # corpus
     "Corpus",
     "build_corpus",

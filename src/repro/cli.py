@@ -20,8 +20,16 @@
     repro stream  --apps 300 --base 256 --batch 128 --batches 14 \
                   --out BENCH_streaming.json
     repro serve   --apps 120 --events 4000 --shards 4 --out BENCH_serving.json
+    repro service --apps 120 --port 8080 --db service.sqlite3
+    repro service-bench --clients 1000 --ops 6 --out BENCH_service.json
     repro trace   --apps 60 --sample 40 --seed 0 --out trace_out
     repro metrics --apps 60 --events 1200 --seed 0 --out metrics_out
+
+``serve`` and ``service`` are deliberately distinct verbs: ``serve``
+runs the *offline, in-process* screening-gateway bench on simulated
+ticks (no sockets); ``service`` boots the *network-facing* HTTP
+signature service on a real port, and ``service-bench`` drives a live
+instance with the closed-loop socket load harness.
 
 ``bench``, ``serve``, ``chaos``, ``trace``, and ``metrics`` accept
 ``--json`` to print their report as stable JSON instead of the table
@@ -411,6 +419,70 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _boot_signatures(args: argparse.Namespace) -> list:
+    """Boot set for ``repro service``: a file if given, else generated."""
+    if args.signatures:
+        return SignatureStore.load(args.signatures)
+    from repro.core.server import SignatureServer
+
+    corpus = build_corpus(n_apps=args.apps, seed=args.seed)
+    server = SignatureServer(corpus.payload_check())
+    server.ingest(corpus.trace)
+    return list(server.generate(args.sample, seed=args.seed).signatures)
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceServer, SignatureService
+
+    service = SignatureService(_boot_signatures(args), db_path=args.db or None)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = server.address  # bound at construction, before serving
+    if args.ready_file:
+        # CI and scripts bind port 0 and read the real address from here.
+        Path(args.ready_file).write_text(f"{host}:{port}\n", encoding="utf-8")
+    print(f"repro service listening on http://{host}:{port} "
+          f"(backend={'sqlite' if service.store is not None else 'memory'})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if service.store is not None:
+            service.store.close()
+    return 0
+
+
+def cmd_service_bench(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import ServiceBudget, run_service_bench
+
+    if args.quick:
+        # Smoke configuration: a small fleet of clients; the identity,
+        # zero-5xx, and shed-rate gates still apply — only scale shrinks.
+        n_apps = min(args.apps, 40)
+        n_clients = min(args.clients, 60)
+        sample = min(args.sample, 40)
+        budget = ServiceBudget(min_requests=100)
+    else:
+        n_apps, n_clients, sample = args.apps, args.clients, args.sample
+        budget = ServiceBudget(min_requests=max(100, n_clients * args.ops // 2))
+    report = run_service_bench(
+        n_apps=n_apps,
+        n_clients=n_clients,
+        ops_per_client=args.ops,
+        sample=sample,
+        seed=args.seed,
+        pool_workers=args.pool,
+        budget=budget,
+    )
+    emit_report(args, report.render(), report.to_dict())
+    if args.out:
+        report.save(args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_federate(args: argparse.Namespace) -> int:
     from repro.federation.bench import FederationBudget, run_federation_bench
 
@@ -628,7 +700,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
-        "serve", help="run the online screening gateway bench; emits BENCH_serving.json"
+        "serve",
+        help="run the OFFLINE in-process screening-gateway bench on simulated "
+        "ticks (no network; see 'service' for the HTTP server); emits "
+        "BENCH_serving.json",
     )
     p.add_argument("--apps", type=int, default=120)
     p.add_argument("--events", type=int, default=4000, help="arrivals per scenario")
@@ -644,6 +719,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", help="write the JSON report here")
     add_json_flag(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "service",
+        help="boot the NETWORK-FACING HTTP signature service on a real port "
+        "(publish/fetch/screen/reports/metrics/healthz; see 'serve' for the "
+        "offline gateway bench)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = ephemeral; see --ready-file)")
+    p.add_argument("--db", default="",
+                   help="sqlite file for durable state (default: in-memory)")
+    p.add_argument("--signatures", default="",
+                   help="boot signature document (default: generate from a corpus)")
+    p.add_argument("--apps", type=int, default=120,
+                   help="corpus size when generating the boot set")
+    p.add_argument("--sample", type=int, default=120,
+                   help="M packets per generated boot set")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ready-file", default="",
+                   help="write 'host:port' here once listening (for scripts/CI)")
+    p.set_defaults(func=cmd_service)
+
+    p = sub.add_parser(
+        "service-bench",
+        help="closed-loop socket load harness against a live service instance; "
+        "emits BENCH_service.json",
+    )
+    p.add_argument("--apps", type=int, default=120)
+    p.add_argument("--clients", type=int, default=1000, help="simulated clients")
+    p.add_argument("--ops", type=int, default=6, help="operations per client")
+    p.add_argument("--sample", type=int, default=120, help="M packets per signature set")
+    p.add_argument("--pool", type=int, default=32, help="client thread-pool size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true", help="smoke scale for CI")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_service_bench)
 
     p = sub.add_parser("chaos", help="sweep fault rates over a target subsystem")
     p.add_argument("--target", choices=("distribution", "pipeline", "federation"),

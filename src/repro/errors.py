@@ -136,3 +136,14 @@ class ReportValidationError(FederationError):
 
 class DatasetError(ReproError):
     """A trace or dataset file was malformed or inconsistent."""
+
+
+class ServiceError(ReproError):
+    """The network-facing signature service hit an operational error.
+
+    Raised by :mod:`repro.service` for conditions the HTTP layer maps to
+    client-visible statuses (a stale publish, a misconfigured backend) —
+    as distinct from payload corruption, which keeps its own
+    :class:`SignatureStoreError` / :class:`ReportValidationError` types so
+    retry loops can classify it.
+    """

@@ -2,7 +2,8 @@
 
 The repo commits one machine-readable report per bench family
 (``BENCH_perf.json``, ``BENCH_serving.json``, ``BENCH_federation.json``,
-``BENCH_streaming.json``) as the perf trajectory of record.  Nothing
+``BENCH_streaming.json``, ``BENCH_service.json``) as the perf trajectory
+of record.  Nothing
 stops a refactor from silently changing a report's shape — or from
 committing a report whose own gates failed — so the lint job runs this
 check over every committed report: fields the CI assertions and the
@@ -47,6 +48,12 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "bench", "corpus", "mode", "threshold", "m_total", "audit",
         "identical", "ok",
     ),
+    "service": (
+        "bench", "corpus", "cpu_count", "server", "workload", "n_clients",
+        "n_requests", "requests", "status_counts", "error_rate", "n_5xx",
+        "latency_ms", "screen", "republication", "checks", "gateway",
+        "identical", "budget", "violations", "ok",
+    ),
 }
 
 #: Flags that must be literally ``True`` in a committed report — a report
@@ -58,6 +65,7 @@ TRUE_FLAGS: dict[str, tuple[str, ...]] = {
     "federation": ("ok",),
     "streaming": ("identical", "ok"),
     "streaming_audit": ("identical", "ok"),
+    "service": ("identical", "ok"),
 }
 
 

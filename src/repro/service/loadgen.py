@@ -1,0 +1,723 @@
+"""Closed-loop socket load harness for the signature service.
+
+Thousands of seeded simulated clients hammer a *live*
+:class:`~repro.service.server.ServiceServer` over real TCP sockets — this
+is the one bench in the repo where latency is wall-clock by design,
+because the system under test includes the HTTP framing, the thread-per-
+request server, and the locks around the gateway and ingest plane.
+
+Each client is closed-loop (its next request starts when the previous
+response lands) and runs a seeded per-client operation plan drawn from a
+mixed workload:
+
+- ``fetch`` — ``GET /v1/signatures`` with ``?since=`` once a version is
+  known (200 and 304 both count as success);
+- ``screen`` — a small tick-ordered event batch through ``POST /v1/screen``;
+- ``burst`` — a same-tick event burst larger than the admission queue, so
+  the gateway's DROP/DEGRADE shedding actually engages under load;
+- ``report`` — valid fleet report envelopes through ``POST /v1/reports``,
+  with an occasional deliberate duplicate to exercise replay defense
+  (an application-level rejection, not an HTTP error).
+
+Mid-run — once half the planned operations have completed — a publisher
+thread hot-republishes a new signature envelope through the public
+``POST /v1/signatures`` endpoint, then re-posts the stale boot version
+and requires the ``409`` never-regress refusal.
+
+Before the load phase the harness proves **byte-identity**: the same
+seeded event stream is screened in-process and over the socket, and the
+canonical JSON of both decision streams must be equal; afterwards the
+republished envelope is fetched back and must equal the published
+document byte-for-byte.  Latency percentiles come from the shared
+:class:`~repro.obs.metrics.Histogram` estimator; the budget gates error
+rate, 5xx count (zero), shed rate, identity flags, and reload count, and
+the report lands in ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.server import SignatureServer
+from repro.eval.perf import cpu_count
+from repro.federation.report import DeviceReport, encode_report, token_for
+from repro.obs.metrics import Histogram, Metrics
+from repro.serving.gateway import GatewayConfig, ScreeningGateway
+from repro.serving.loadgen import ScreeningEvent
+from repro.service.server import (
+    REQUEST_MS_BOUNDS,
+    ServiceConfig,
+    ServiceServer,
+    SignatureService,
+)
+from repro.service.wire import canonical_decisions, encode_event, encode_results
+from repro.signatures.store import SignatureStore
+from repro.simulation.corpus import build_corpus
+from repro.simulation.rng import derive_rng
+
+#: The mixed workload: operation -> draw weight.
+DEFAULT_MIX: dict[str, int] = {"fetch": 3, "screen": 4, "burst": 1, "report": 2}
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceBudget:
+    """Gates the service load bench enforces (``None`` disables a gate).
+
+    Identity (``screen_identical`` / ``fetch_roundtrip_identical``) is
+    always enforced — a service that answers differently than the
+    in-process gateway, or returns different bytes than were published,
+    is wrong, not slow.
+
+    :param max_5xx: ceiling on server errors observed anywhere (client
+        statuses and the server's own unhandled-error counter).
+    :param max_error_rate: ceiling on unexpected non-2xx/304 responses
+        (the planned stale-publish 409 is excluded).
+    :param max_screen_shed_rate: ceiling on shed screening decisions.
+    :param min_requests: floor proving the harness actually ran.
+    :param min_reloads_applied: hot reloads the gateway must have applied.
+    """
+
+    max_5xx: int | None = 0
+    max_error_rate: float | None = 0.005
+    max_screen_shed_rate: float | None = 0.25
+    min_requests: int | None = 100
+    min_reloads_applied: int | None = 1
+
+    def violations(self, report: "ServiceReport") -> list[str]:
+        found: list[str] = []
+        checks = report.checks
+        if not checks.get("screen_identical"):
+            found.append("socket screening decisions diverge from in-process gateway")
+        if not checks.get("fetch_roundtrip_identical"):
+            found.append("fetched envelope is not byte-identical to the published one")
+        n_5xx = report.n_5xx
+        if self.max_5xx is not None and n_5xx > self.max_5xx:
+            found.append(f"{n_5xx} server errors (5xx) > {self.max_5xx}")
+        if self.max_error_rate is not None and report.error_rate > self.max_error_rate:
+            found.append(
+                f"error rate {report.error_rate:.4f} > {self.max_error_rate:.4f}"
+            )
+        if (
+            self.max_screen_shed_rate is not None
+            and report.shed_rate > self.max_screen_shed_rate
+        ):
+            found.append(
+                f"screen shed rate {report.shed_rate:.4f} "
+                f"> {self.max_screen_shed_rate:.4f}"
+            )
+        if self.min_requests is not None and report.n_requests < self.min_requests:
+            found.append(f"{report.n_requests} requests < {self.min_requests}")
+        applied = report.gateway.get("reloads_applied", 0)
+        if self.min_reloads_applied is not None and applied < self.min_reloads_applied:
+            found.append(
+                f"{applied} hot reloads applied < {self.min_reloads_applied}"
+            )
+        return found
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_5xx": self.max_5xx,
+            "max_error_rate": self.max_error_rate,
+            "max_screen_shed_rate": self.max_screen_shed_rate,
+            "min_requests": self.min_requests,
+            "min_reloads_applied": self.min_reloads_applied,
+        }
+
+
+@dataclass(slots=True)
+class ServiceReport:
+    """One load-harness run, ready for ``BENCH_service.json``."""
+
+    n_apps: int
+    seed: int
+    n_clients: int
+    ops_per_client: int
+    pool_workers: int
+    server: dict[str, Any]
+    workload: dict[str, Any]
+    requests: dict[str, int] = field(default_factory=dict)
+    status_counts: dict[str, int] = field(default_factory=dict)
+    latency_ms: dict[str, dict[str, float]] = field(default_factory=dict)
+    screen: dict[str, Any] = field(default_factory=dict)
+    ingest: dict[str, Any] = field(default_factory=dict)
+    republication: dict[str, Any] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+    gateway: dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    budget: dict[str, Any] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(self.requests.values())
+
+    @property
+    def n_5xx(self) -> int:
+        observed = sum(
+            count for status, count in self.status_counts.items() if status >= "500"
+        )
+        return observed + int(self.server.get("unhandled_errors", 0))
+
+    @property
+    def error_rate(self) -> float:
+        expected = {"200", "201", "304"}
+        planned_conflicts = int(self.republication.get("stale_conflicts", 0))
+        unexpected = (
+            sum(
+                count
+                for status, count in self.status_counts.items()
+                if status not in expected
+            )
+            - planned_conflicts
+        )
+        return max(0, unexpected) / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        decisions = self.screen.get("decisions", 0)
+        return self.screen.get("shed", 0) / decisions if decisions else 0.0
+
+    @property
+    def identical(self) -> bool:
+        return bool(
+            self.checks.get("screen_identical")
+            and self.checks.get("fetch_roundtrip_identical")
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bench": "service",
+            "corpus": {"n_apps": self.n_apps, "seed": self.seed},
+            "cpu_count": cpu_count(),
+            "server": self.server,
+            "workload": self.workload,
+            "n_clients": self.n_clients,
+            "ops_per_client": self.ops_per_client,
+            "pool_workers": self.pool_workers,
+            "n_requests": self.n_requests,
+            "requests": dict(sorted(self.requests.items())),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "error_rate": round(self.error_rate, 6),
+            "n_5xx": self.n_5xx,
+            "latency_ms": self.latency_ms,
+            "screen": self.screen,
+            "ingest": self.ingest,
+            "republication": self.republication,
+            "checks": self.checks,
+            "gateway": self.gateway,
+            "wall_s": round(self.wall_s, 3),
+            "requests_per_s": round(self.n_requests / self.wall_s, 1) if self.wall_s else 0.0,
+            "identical": self.identical,
+            "budget": self.budget,
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path
+
+    def render(self) -> str:
+        """Fixed-width human summary, in the repo's report style."""
+        lines = [
+            "Service bench — closed-loop socket load harness",
+            f"  corpus apps={self.n_apps} clients={self.n_clients} "
+            f"ops/client={self.ops_per_client} pool={self.pool_workers} "
+            f"backend={self.server['backend']}",
+            f"  requests={self.n_requests} ({self.to_dict()['requests_per_s']}/s over "
+            f"{self.wall_s:.2f}s wall)  5xx={self.n_5xx} "
+            f"error_rate={self.error_rate:.4f}",
+            f"  {'endpoint':<10} {'n':>7} {'p50ms':>8} {'p95ms':>8} {'p99ms':>8}",
+        ]
+        for name, stats in sorted(self.latency_ms.items()):
+            lines.append(
+                f"  {name:<10} {int(stats['count']):>7d} {stats['p50']:>8.2f} "
+                f"{stats['p95']:>8.2f} {stats['p99']:>8.2f}"
+            )
+        lines.append(
+            f"  screen: decisions={self.screen.get('decisions', 0)} "
+            f"shed={self.screen.get('shed', 0)} (rate {self.shed_rate:.4f}) "
+            f"by_version={self.screen.get('decisions_by_version', {})}"
+        )
+        lines.append(
+            f"  reloads applied={self.gateway.get('reloads_applied', 0)} "
+            f"rejected={self.gateway.get('reloads_rejected', 0)}; "
+            f"republication at op {self.republication.get('triggered_at_ops')} "
+            f"-> v{self.republication.get('set_version')} "
+            f"(stale re-publish: {self.republication.get('stale_status')})"
+        )
+        lines.append(
+            f"  checks: screen_identical={self.checks.get('screen_identical')} "
+            f"fetch_roundtrip_identical={self.checks.get('fetch_roundtrip_identical')}"
+        )
+        if self.violations:
+            lines.append("  BUDGET VIOLATIONS:")
+            lines.extend(f"    - {v}" for v in self.violations)
+        else:
+            lines.append("  budget: ok")
+        return "\n".join(lines)
+
+
+class _Client:
+    """One closed-loop simulated client over a persistent connection."""
+
+    def __init__(self, index: int, host: str, port: int, harness: "_Harness") -> None:
+        self.index = index
+        self.harness = harness
+        self.connection = http.client.HTTPConnection(host, port, timeout=30.0)
+        self.rng = derive_rng(harness.seed, "service-client", str(index))
+        self.device_id = f"bench-device-{index:05d}"
+        self.seq = 0
+        self.known_version: int | None = None
+        self.last_report: dict[str, Any] | None = None
+        self.samples: list[tuple[str, int, float]] = []  # (op, status, ms)
+        self.screen_decisions = 0
+        self.screen_shed = 0
+        self.decisions_by_version: dict[str, int] = {}
+        self.ingest_statuses: dict[str, int] = {}
+
+    def _request(
+        self, op: str, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        started = time.perf_counter()
+        self.connection.request(method, path, body=body, headers=headers)
+        response = self.connection.getresponse()
+        payload = response.read()
+        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        self.samples.append((op, response.status, elapsed_ms))
+        return response.status, payload
+
+    def _packet_events(self, n: int, spacing: float) -> list[dict[str, Any]]:
+        packets = self.harness.packets
+        return [
+            encode_event(
+                ScreeningEvent(
+                    seq=i,
+                    tick=i * spacing,
+                    device_id=self.device_id,
+                    packet=packets[self.rng.randrange(len(packets))],
+                )
+            )
+            for i in range(n)
+        ]
+
+    def _op_fetch(self) -> None:
+        path = "/v1/signatures"
+        if self.known_version is not None and self.rng.random() < 0.5:
+            path += f"?since={self.known_version}"
+        status, payload = self._request("fetch", "GET", path)
+        if status == 200:
+            self.known_version = SignatureStore.loads_envelope(
+                payload.decode("utf-8")
+            ).set_version
+
+    def _op_screen(self, burst: bool) -> None:
+        if burst:
+            events = self._packet_events(self.harness.burst_events, spacing=0.0)
+        else:
+            events = self._packet_events(self.harness.screen_events, spacing=1.0)
+        body = json.dumps({"events": events}).encode("utf-8")
+        status, payload = self._request("burst" if burst else "screen", "POST", "/v1/screen", body)
+        if status != 200:
+            return
+        decoded = json.loads(payload)
+        for result in decoded["results"]:
+            self.screen_decisions += 1
+            if not result["screened"]:
+                self.screen_shed += 1
+            version = str(result["set_version"])
+            self.decisions_by_version[version] = self.decisions_by_version.get(version, 0) + 1
+
+    def _op_report(self) -> None:
+        packets = self.harness.packets
+        records: list[dict[str, Any]] = []
+        # Every fourth report post re-sends the previous envelope first —
+        # an at-least-once transport re-delivering; the service must
+        # reject it as a duplicate without an HTTP error.
+        if self.last_report is not None and self.rng.random() < 0.25:
+            records.append(self.last_report)
+        for __ in range(self.harness.reports_per_post):
+            self.seq += 1
+            packet = packets[self.rng.randrange(len(packets))]
+            records.append(
+                encode_report(
+                    DeviceReport(
+                        device_id=self.device_id,
+                        seq=self.seq,
+                        token=token_for(packet),
+                        packet=packet,
+                    )
+                )
+            )
+        self.last_report = records[-1]
+        body = json.dumps({"reports": records}).encode("utf-8")
+        status, payload = self._request("report", "POST", "/v1/reports", body)
+        if status != 200:
+            return
+        for verdict in json.loads(payload)["results"]:
+            name = verdict["status"]
+            self.ingest_statuses[name] = self.ingest_statuses.get(name, 0) + 1
+
+    def run(self) -> None:
+        try:
+            ops, weights = self.harness.mix_ops, self.harness.mix_weights
+            for __ in range(self.harness.ops_per_client):
+                op = self.rng.choices(ops, weights=weights, k=1)[0]
+                if op == "fetch":
+                    self._op_fetch()
+                elif op == "screen":
+                    self._op_screen(burst=False)
+                elif op == "burst":
+                    self._op_screen(burst=True)
+                else:
+                    self._op_report()
+                self.harness.note_op_done()
+        finally:
+            self.connection.close()
+
+
+class _Harness:
+    """Shared state for one load run: trigger counter and workload knobs."""
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        packets: list,
+        ops_per_client: int,
+        n_clients: int,
+        mix: dict[str, int],
+        screen_events: int,
+        burst_events: int,
+        reports_per_post: int,
+    ) -> None:
+        self.seed = seed
+        self.packets = packets
+        self.ops_per_client = ops_per_client
+        self.mix_ops = sorted(mix)
+        self.mix_weights = [mix[op] for op in self.mix_ops]
+        self.screen_events = screen_events
+        self.burst_events = burst_events
+        self.reports_per_post = reports_per_post
+        self.total_ops = ops_per_client * n_clients
+        self.republish_at = max(1, self.total_ops // 2)
+        self._done = 0
+        self._lock = threading.Lock()
+        self.republish_trigger = threading.Event()
+
+    def note_op_done(self) -> None:
+        with self._lock:
+            self._done += 1
+            if self._done >= self.republish_at:
+                self.republish_trigger.set()
+
+
+def run_service_bench(
+    *,
+    n_apps: int = 120,
+    n_clients: int = 1000,
+    ops_per_client: int = 6,
+    sample: int = 120,
+    seed: int = 0,
+    pool_workers: int = 32,
+    db_path: str | None = None,
+    mix: dict[str, int] | None = None,
+    screen_events: int = 4,
+    burst_events: int | None = None,
+    reports_per_post: int = 2,
+    gateway_config: GatewayConfig | None = None,
+    budget: ServiceBudget | None = None,
+) -> ServiceReport:
+    """Boot a live service, hammer it, audit identity, gate the budget.
+
+    :param db_path: sqlite file for the service's durable state; when
+        omitted a temporary database is created (and cleaned up), so the
+        bench always exercises the sqlite repository path.
+    :param burst_events: events per burst screen; defaults to the
+        admission queue capacity + 16, guaranteeing shedding engages.
+    """
+    budget = budget or ServiceBudget()
+    mix = dict(mix or DEFAULT_MIX)
+    gateway_config = gateway_config or GatewayConfig()
+    if burst_events is None:
+        burst_events = gateway_config.queue_capacity + 16
+
+    corpus = build_corpus(n_apps=n_apps, seed=seed)
+    generation_server = SignatureServer(corpus.payload_check())
+    generation_server.ingest(corpus.trace)
+    boot_signatures = list(generation_server.generate(sample, seed=seed).signatures)
+    reload_signatures = list(
+        generation_server.generate(sample, seed=seed + 1).signatures
+    )
+    boot_document = SignatureStore.dumps_envelope(boot_signatures, 1)
+    reload_document = SignatureStore.dumps_envelope(reload_signatures, 2)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        actual_db = db_path or str(Path(tmp) / "service.sqlite3")
+        service = SignatureService(
+            boot_signatures,
+            db_path=actual_db,
+            config=ServiceConfig(gateway=gateway_config),
+        )
+        server = ServiceServer(service)
+        host, port = server.start()
+        try:
+            report = _run_against(
+                server,
+                host,
+                port,
+                corpus=corpus,
+                n_apps=n_apps,
+                seed=seed,
+                n_clients=n_clients,
+                ops_per_client=ops_per_client,
+                pool_workers=pool_workers,
+                mix=mix,
+                screen_events=screen_events,
+                burst_events=burst_events,
+                reports_per_post=reports_per_post,
+                boot_signatures=boot_signatures,
+                boot_document=boot_document,
+                reload_document=reload_document,
+                gateway_config=gateway_config,
+                budget=budget,
+            )
+        finally:
+            server.stop()
+            if service.store is not None:
+                service.store.close()
+    report.violations = budget.violations(report)
+    return report
+
+
+def _http(
+    host: str, port: int, method: str, path: str, body: bytes | None = None
+) -> tuple[int, bytes]:
+    """One standalone request on a fresh connection (harness plumbing)."""
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _screen_identity_check(
+    host: str,
+    port: int,
+    corpus,
+    boot_signatures: list,
+    gateway_config: GatewayConfig,
+    seed: int,
+) -> bool:
+    """The byte-identity audit: socket decisions == in-process decisions."""
+    rng = derive_rng(seed, "service-identity")
+    packets = list(corpus.trace.packets)
+    events = [
+        ScreeningEvent(
+            seq=i,
+            tick=float(i),
+            device_id="identity-probe",
+            packet=packets[rng.randrange(len(packets))],
+        )
+        for i in range(64)
+    ]
+    reference = ScreeningGateway(list(boot_signatures), config=gateway_config)
+    expected = canonical_decisions(encode_results(reference.run(list(events))))
+    body = json.dumps({"events": [encode_event(e) for e in events]}).encode("utf-8")
+    status, payload = _http(host, port, "POST", "/v1/screen", body)
+    if status != 200:
+        return False
+    actual = canonical_decisions(json.loads(payload)["results"])
+    return actual == expected
+
+
+def _run_against(
+    server: ServiceServer,
+    host: str,
+    port: int,
+    *,
+    corpus,
+    n_apps: int,
+    seed: int,
+    n_clients: int,
+    ops_per_client: int,
+    pool_workers: int,
+    mix: dict[str, int],
+    screen_events: int,
+    burst_events: int,
+    reports_per_post: int,
+    boot_signatures: list,
+    boot_document: str,
+    reload_document: str,
+    gateway_config: GatewayConfig,
+    budget: ServiceBudget,
+) -> ServiceReport:
+    service = server.service
+    checks: dict[str, bool] = {}
+
+    # Identity audits run against generation 1, before any reload.
+    checks["screen_identical"] = _screen_identity_check(
+        host, port, corpus, boot_signatures, gateway_config, seed
+    )
+    status, payload = _http(host, port, "GET", "/v1/signatures")
+    checks["boot_fetch_identical"] = (
+        status == 200 and payload.decode("utf-8") == boot_document
+    )
+
+    harness = _Harness(
+        seed=seed,
+        packets=list(corpus.trace.packets),
+        ops_per_client=ops_per_client,
+        n_clients=n_clients,
+        mix=mix,
+        screen_events=screen_events,
+        burst_events=burst_events,
+        reports_per_post=reports_per_post,
+    )
+    republication: dict[str, Any] = {
+        "triggered_at_ops": harness.republish_at,
+        "set_version": None,
+        "status": None,
+        "stale_status": None,
+        "stale_conflicts": 0,
+    }
+
+    def publisher() -> None:
+        if not harness.republish_trigger.wait(timeout=600.0):
+            return
+        status, payload = _http(
+            host, port, "POST", "/v1/signatures", reload_document.encode("utf-8")
+        )
+        republication["status"] = status
+        if status == 201:
+            republication["set_version"] = json.loads(payload)["set_version"]
+        # Never-regress over the wire: re-publishing the boot version must
+        # be refused with a 409 (and nothing about the live set changes).
+        stale_status, __ = _http(
+            host, port, "POST", "/v1/signatures", boot_document.encode("utf-8")
+        )
+        republication["stale_status"] = stale_status
+        if stale_status == 409:
+            republication["stale_conflicts"] = 1
+
+    publisher_thread = threading.Thread(target=publisher, name="service-publisher")
+    publisher_thread.start()
+
+    clients = [_Client(i, host, port, harness) for i in range(n_clients)]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=pool_workers) as pool:
+        futures = [pool.submit(client.run) for client in clients]
+        for future in futures:
+            future.result()
+    wall_s = time.perf_counter() - started
+    harness.republish_trigger.set()  # belt-and-braces for tiny runs
+    publisher_thread.join(timeout=60.0)
+
+    # Post-load audits: round-trip the republished envelope, health, metrics.
+    status, payload = _http(host, port, "GET", "/v1/signatures")
+    checks["fetch_roundtrip_identical"] = status == 200 and payload.decode("utf-8") == (
+        reload_document if republication["status"] == 201 else boot_document
+    )
+    status, payload = _http(host, port, "GET", "/healthz")
+    health = json.loads(payload) if status == 200 else {}
+    checks["healthz_ok"] = bool(health.get("ok"))
+    status, payload = _http(host, port, "GET", "/metrics")
+    checks["metrics_exposed"] = (
+        status == 200 and b"repro_service_requests_" in payload
+    )
+
+    # Aggregate client samples through the shared histogram estimator.
+    registry = Metrics()
+    requests: dict[str, int] = {}
+    status_counts: dict[str, int] = {}
+    screen_decisions = 0
+    screen_shed = 0
+    decisions_by_version: dict[str, int] = {}
+    ingest_statuses: dict[str, int] = {}
+    for client in clients:
+        for op, code, ms in client.samples:
+            requests[op] = requests.get(op, 0) + 1
+            status_counts[str(code)] = status_counts.get(str(code), 0) + 1
+            registry.observe("all", ms, REQUEST_MS_BOUNDS)
+            registry.observe(op, ms, REQUEST_MS_BOUNDS)
+        screen_decisions += client.screen_decisions
+        screen_shed += client.screen_shed
+        for version, count in client.decisions_by_version.items():
+            decisions_by_version[version] = decisions_by_version.get(version, 0) + count
+        for name, count in client.ingest_statuses.items():
+            ingest_statuses[name] = ingest_statuses.get(name, 0) + count
+
+    def percentiles(histogram: Histogram) -> dict[str, float]:
+        return {
+            "count": histogram.count,
+            "p50": round(histogram.percentile(0.50), 3),
+            "p95": round(histogram.percentile(0.95), 3),
+            "p99": round(histogram.percentile(0.99), 3),
+            "mean": round(histogram.mean, 3),
+            "max": round(histogram.max_value, 3),
+        }
+
+    gateway_health = service.gateway.health_snapshot()
+    report = ServiceReport(
+        n_apps=n_apps,
+        seed=seed,
+        n_clients=n_clients,
+        ops_per_client=ops_per_client,
+        pool_workers=pool_workers,
+        server={
+            "backend": "sqlite" if service.store is not None else "memory",
+            "schema_version": service.store.schema_version() if service.store else 0,
+            "queue_capacity": gateway_config.queue_capacity,
+            "batch_size": gateway_config.batch_size,
+            "n_shards": gateway_config.n_shards,
+            "shed_policy": gateway_config.shed_policy.value,
+            "unhandled_errors": service.metrics.counters.get(
+                "service_unhandled_errors", 0
+            ),
+        },
+        workload={
+            "mix": dict(sorted(mix.items())),
+            "screen_events": screen_events,
+            "burst_events": burst_events,
+            "reports_per_post": reports_per_post,
+        },
+        requests=requests,
+        status_counts=status_counts,
+        latency_ms={
+            name: percentiles(histogram)
+            for name, histogram in sorted(registry.histograms.items())
+        },
+        screen={
+            "decisions": screen_decisions,
+            "shed": screen_shed,
+            "decisions_by_version": dict(sorted(decisions_by_version.items())),
+        },
+        ingest={
+            "client_observed": dict(sorted(ingest_statuses.items())),
+            "server": service.ingest.stats(),
+            "stored_reports": service.reports.count(),
+        },
+        republication=republication,
+        checks=checks,
+        gateway=gateway_health,
+        wall_s=wall_s,
+        budget=budget.to_dict(),
+    )
+    return report

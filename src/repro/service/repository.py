@@ -1,0 +1,439 @@
+"""Persistence behind the signature service: repositories over two backends.
+
+The service's durable state is deliberately tiny — published signature
+envelopes and accepted fleet reports — but it must survive restarts and
+tolerate the same corruption the distribution channel tolerates.  Both
+stores hide behind small repository interfaces so the HTTP layer (and the
+tests) never touch a backend directly:
+
+- :class:`SignatureRepository` — append-only version history of published
+  :class:`~repro.signatures.store.SignatureEnvelope` documents.  Writes
+  verify the envelope (checksum, monotonic ``set_version``) before
+  anything is persisted; reads **re-verify the checksum** and degrade to
+  the newest still-valid version when a row is corrupt — the same
+  last-known-good posture as
+  :class:`~repro.core.distribution.SignatureFetcher`, applied to disk
+  instead of the network.  The stored document text round-trips verbatim,
+  so a fetch through the service returns byte-identical JSON to what was
+  published.
+- :class:`ReportRepository` — accepted fleet reports (post-ingest, so
+  everything stored already passed validation and replay defense), keyed
+  ``(device_id, seq)`` with per-token support counts for aggregation.
+
+Two implementations each: in-memory (tests, ephemeral servers) and sqlite
+(:class:`SqliteSignatureRepository` / :class:`SqliteReportRepository`)
+sharing one :class:`SqliteStore` — WAL journal mode so readers never block
+behind the writer, per-thread connections (the HTTP server is
+thread-per-request), and a **versioned schema**: every migration is a row
+in ``schema_migrations``, applied exactly once no matter how many times
+the database is opened.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ServiceError, SignatureStoreError
+from repro.signatures.store import SignatureEnvelope, SignatureStore
+
+#: Schema migrations, applied in order; the index + 1 is the schema
+#: version recorded in ``schema_migrations``.  Append-only — editing a
+#: shipped migration is schema drift, add a new one instead.
+MIGRATIONS: tuple[tuple[str, ...], ...] = (
+    (
+        """
+        CREATE TABLE signature_envelopes (
+            set_version INTEGER PRIMARY KEY,
+            checksum    TEXT NOT NULL,
+            document    TEXT NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE device_reports (
+            device_id TEXT NOT NULL,
+            seq       INTEGER NOT NULL,
+            token     TEXT NOT NULL,
+            record    TEXT NOT NULL,
+            PRIMARY KEY (device_id, seq)
+        )
+        """,
+    ),
+    ("CREATE INDEX idx_device_reports_token ON device_reports (token)",),
+)
+
+
+# ---------------------------------------------------------------------------
+# interfaces
+# ---------------------------------------------------------------------------
+
+
+class SignatureRepository(ABC):
+    """Durable, versioned storage of published signature envelopes."""
+
+    @abstractmethod
+    def store(self, document: str) -> SignatureEnvelope:
+        """Verify and persist one envelope document.
+
+        :param document: the serialized format-2 envelope exactly as
+            published (stored verbatim for byte-identical fetch).
+        :raises SignatureStoreError: when the document fails envelope
+            verification (bad JSON, checksum, count).
+        :raises ServiceError: when ``set_version`` does not advance the
+            stored history (publishes must be monotonic).
+        """
+
+    @abstractmethod
+    def latest_version(self) -> int:
+        """Newest *stored* ``set_version`` (0 when empty); no verification."""
+
+    @abstractmethod
+    def latest(self) -> tuple[str, SignatureEnvelope] | None:
+        """The newest envelope that still verifies, with its document text.
+
+        Corrupt rows (checksum mismatch on read) are skipped — the
+        repository degrades to the last known-good version rather than
+        serving poison, counting the skips in :meth:`corrupt_reads`.
+        ``None`` when nothing valid is stored.
+        """
+
+    @abstractmethod
+    def get(self, set_version: int) -> tuple[str, SignatureEnvelope] | None:
+        """One stored version, verified on read; ``None`` if absent/corrupt."""
+
+    @abstractmethod
+    def versions(self) -> list[int]:
+        """All stored versions, ascending (corrupt rows included)."""
+
+    @abstractmethod
+    def corrupt_reads(self) -> int:
+        """How many stored rows have failed read-time verification so far."""
+
+
+class ReportRepository(ABC):
+    """Durable storage of ingest-accepted fleet reports."""
+
+    @abstractmethod
+    def add(self, device_id: str, seq: int, token: str, record: dict[str, Any]) -> bool:
+        """Persist one accepted report envelope.
+
+        :returns: ``False`` when ``(device_id, seq)`` is already stored
+            (idempotent re-delivery after an acked write), ``True`` on a
+            fresh insert.
+        """
+
+    @abstractmethod
+    def count(self) -> int:
+        """Total stored reports."""
+
+    @abstractmethod
+    def token_support(self) -> dict[str, int]:
+        """Distinct-device support per token (the k-anonymity numerator)."""
+
+
+# ---------------------------------------------------------------------------
+# in-memory backend
+# ---------------------------------------------------------------------------
+
+
+class InMemorySignatureRepository(SignatureRepository):
+    """Dict-backed history for ephemeral servers and tests."""
+
+    def __init__(self) -> None:
+        self._documents: dict[int, str] = {}
+        self._corrupt_reads = 0
+        self._lock = threading.Lock()
+
+    def store(self, document: str) -> SignatureEnvelope:
+        envelope = SignatureStore.loads_envelope(document)
+        with self._lock:
+            newest = max(self._documents, default=0)
+            if envelope.set_version <= newest:
+                raise ServiceError(
+                    f"stale publish: set_version {envelope.set_version} "
+                    f"<= stored {newest}"
+                )
+            self._documents[envelope.set_version] = document
+        return envelope
+
+    def latest_version(self) -> int:
+        with self._lock:
+            return max(self._documents, default=0)
+
+    def _verify(self, version: int) -> tuple[str, SignatureEnvelope] | None:
+        document = self._documents.get(version)
+        if document is None:
+            return None
+        try:
+            return document, SignatureStore.loads_envelope(document)
+        except SignatureStoreError:
+            self._corrupt_reads += 1
+            return None
+
+    def latest(self) -> tuple[str, SignatureEnvelope] | None:
+        with self._lock:
+            for version in sorted(self._documents, reverse=True):
+                found = self._verify(version)
+                if found is not None:
+                    return found
+            return None
+
+    def get(self, set_version: int) -> tuple[str, SignatureEnvelope] | None:
+        with self._lock:
+            return self._verify(set_version)
+
+    def versions(self) -> list[int]:
+        with self._lock:
+            return sorted(self._documents)
+
+    def corrupt_reads(self) -> int:
+        with self._lock:
+            return self._corrupt_reads
+
+    # test hook: simulate at-rest corruption of one stored version
+    def corrupt(self, set_version: int, text: str) -> None:
+        with self._lock:
+            self._documents[set_version] = text
+
+
+class InMemoryReportRepository(ReportRepository):
+    """Dict-backed accepted-report store."""
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[str, int], tuple[str, dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, device_id: str, seq: int, token: str, record: dict[str, Any]) -> bool:
+        with self._lock:
+            key = (device_id, seq)
+            if key in self._records:
+                return False
+            self._records[key] = (token, dict(record))
+            return True
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def token_support(self) -> dict[str, int]:
+        with self._lock:
+            devices_by_token: dict[str, set[str]] = {}
+            for (device_id, __), (token, __record) in self._records.items():
+                devices_by_token.setdefault(token, set()).add(device_id)
+            return {token: len(devices) for token, devices in sorted(devices_by_token.items())}
+
+
+# ---------------------------------------------------------------------------
+# sqlite backend
+# ---------------------------------------------------------------------------
+
+
+class SqliteStore:
+    """One sqlite database file shared by both repositories.
+
+    Connections are **per thread** (sqlite3 objects must not hop threads)
+    and lazily opened against the same path; WAL journal mode lets the
+    thread-per-request readers proceed while a writer transaction is open.
+    Opening the store applies any unapplied migrations exactly once —
+    ``schema_migrations`` rows make re-opening idempotent.
+
+    :param path: database file path.  ``:memory:`` is rejected — each
+        thread would see a different empty database; use the in-memory
+        repositories for ephemeral state instead.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        if str(path) == ":memory:":
+            raise ServiceError(
+                "SqliteStore needs a file path (per-thread connections "
+                "cannot share ':memory:'); use the InMemory repositories"
+            )
+        self.path = Path(path)
+        self._local = threading.local()
+        self._write_lock = threading.Lock()
+        self.migrations_applied = self._migrate()
+
+    def connection(self) -> sqlite3.Connection:
+        """This thread's connection, opened (and WAL-pinned) on first use."""
+        found = getattr(self._local, "connection", None)
+        if found is None:
+            found = sqlite3.connect(self.path, timeout=30.0)
+            found.execute("PRAGMA journal_mode=WAL")
+            found.execute("PRAGMA synchronous=NORMAL")
+            self._local.connection = found
+        return found
+
+    def _migrate(self) -> int:
+        """Apply unapplied migrations; return how many ran this open."""
+        connection = self.connection()
+        applied = 0
+        with self._write_lock, connection:
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS schema_migrations "
+                "(version INTEGER PRIMARY KEY)"
+            )
+            done = {
+                row[0]
+                for row in connection.execute("SELECT version FROM schema_migrations")
+            }
+            for index, statements in enumerate(MIGRATIONS):
+                version = index + 1
+                if version in done:
+                    continue
+                for statement in statements:
+                    connection.execute(statement)
+                connection.execute(
+                    "INSERT INTO schema_migrations (version) VALUES (?)", (version,)
+                )
+                applied += 1
+        return applied
+
+    def schema_version(self) -> int:
+        """Highest applied migration version."""
+        row = self.connection().execute(
+            "SELECT MAX(version) FROM schema_migrations"
+        ).fetchone()
+        return row[0] or 0
+
+    def write(self, statement: str, parameters: tuple[Any, ...]) -> sqlite3.Cursor:
+        """One serialized write in its own transaction."""
+        connection = self.connection()
+        with self._write_lock, connection:
+            return connection.execute(statement, parameters)
+
+    def close(self) -> None:
+        """Close this thread's connection (other threads close their own)."""
+        found = getattr(self._local, "connection", None)
+        if found is not None:
+            found.close()
+            self._local.connection = None
+
+
+class SqliteSignatureRepository(SignatureRepository):
+    """Envelope history in ``signature_envelopes``, verified on every read."""
+
+    def __init__(self, store: SqliteStore) -> None:
+        self.store_backend = store
+        self._corrupt_reads = 0
+        self._count_lock = threading.Lock()
+
+    def store(self, document: str) -> SignatureEnvelope:
+        envelope = SignatureStore.loads_envelope(document)
+        newest = self.latest_version()
+        if envelope.set_version <= newest:
+            raise ServiceError(
+                f"stale publish: set_version {envelope.set_version} <= stored {newest}"
+            )
+        try:
+            self.store_backend.write(
+                "INSERT INTO signature_envelopes (set_version, checksum, document) "
+                "VALUES (?, ?, ?)",
+                (envelope.set_version, envelope.checksum, document),
+            )
+        except sqlite3.IntegrityError as exc:  # lost a publish race
+            raise ServiceError(
+                f"set_version {envelope.set_version} already stored"
+            ) from exc
+        return envelope
+
+    def latest_version(self) -> int:
+        row = self.store_backend.connection().execute(
+            "SELECT MAX(set_version) FROM signature_envelopes"
+        ).fetchone()
+        return row[0] or 0
+
+    def _verify(self, document: str) -> SignatureEnvelope | None:
+        try:
+            return SignatureStore.loads_envelope(document)
+        except SignatureStoreError:
+            with self._count_lock:
+                self._corrupt_reads += 1
+            return None
+
+    def latest(self) -> tuple[str, SignatureEnvelope] | None:
+        rows = self.store_backend.connection().execute(
+            "SELECT document FROM signature_envelopes ORDER BY set_version DESC"
+        )
+        for (document,) in rows:
+            envelope = self._verify(document)
+            if envelope is not None:
+                return document, envelope
+        return None
+
+    def get(self, set_version: int) -> tuple[str, SignatureEnvelope] | None:
+        row = self.store_backend.connection().execute(
+            "SELECT document FROM signature_envelopes WHERE set_version = ?",
+            (set_version,),
+        ).fetchone()
+        if row is None:
+            return None
+        envelope = self._verify(row[0])
+        if envelope is None:
+            return None
+        return row[0], envelope
+
+    def versions(self) -> list[int]:
+        rows = self.store_backend.connection().execute(
+            "SELECT set_version FROM signature_envelopes ORDER BY set_version"
+        )
+        return [row[0] for row in rows]
+
+    def corrupt_reads(self) -> int:
+        with self._count_lock:
+            return self._corrupt_reads
+
+
+class SqliteReportRepository(ReportRepository):
+    """Accepted reports in ``device_reports``, idempotent on ``(device, seq)``."""
+
+    def __init__(self, store: SqliteStore) -> None:
+        self.store_backend = store
+
+    def add(self, device_id: str, seq: int, token: str, record: dict[str, Any]) -> bool:
+        try:
+            self.store_backend.write(
+                "INSERT INTO device_reports (device_id, seq, token, record) "
+                "VALUES (?, ?, ?, ?)",
+                (device_id, seq, token, json.dumps(record, sort_keys=True)),
+            )
+        except sqlite3.IntegrityError:
+            return False
+        return True
+
+    def count(self) -> int:
+        row = self.store_backend.connection().execute(
+            "SELECT COUNT(*) FROM device_reports"
+        ).fetchone()
+        return row[0]
+
+    def token_support(self) -> dict[str, int]:
+        rows = self.store_backend.connection().execute(
+            "SELECT token, COUNT(DISTINCT device_id) FROM device_reports "
+            "GROUP BY token ORDER BY token"
+        )
+        return {token: support for token, support in rows}
+
+
+def open_repositories(
+    db_path: str | Path | None,
+) -> tuple[SignatureRepository, ReportRepository, SqliteStore | None]:
+    """The service's standard repository wiring.
+
+    :param db_path: sqlite file path for durable state, or ``None`` for
+        the in-memory backend (state dies with the process).
+    :returns: ``(signatures, reports, store)``; ``store`` is ``None`` for
+        the in-memory backend.
+    """
+    if db_path is None:
+        return InMemorySignatureRepository(), InMemoryReportRepository(), None
+    store = SqliteStore(db_path)
+    return SqliteSignatureRepository(store), SqliteReportRepository(store), store
+
+
+def iter_rows(store: SqliteStore, table: str) -> Iterator[tuple[Any, ...]]:
+    """Debug/test helper: every row of ``table`` on this thread's connection."""
+    yield from store.connection().execute(f"SELECT * FROM {table}")  # noqa: S608

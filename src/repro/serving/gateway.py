@@ -203,6 +203,42 @@ class ScreeningGateway:
         )
         return True
 
+    # -- health -------------------------------------------------------------------
+
+    def health_snapshot(self) -> dict[str, object]:
+        """A read-only operational summary of the gateway.
+
+        The public surface a health endpoint (or supervisor) should poll
+        instead of poking private fields: the live generation and set
+        version, admission/shed counters, reload history, and whether any
+        degraded (keyword-fallback) decision has been produced.  Keys are
+        stable and the snapshot is a pure function of the measurement
+        state — calling it never mutates the gateway, so repeated calls
+        under load always agree with the telemetry counters.
+        """
+        counters = self.telemetry.counters
+        depth = self.telemetry.histograms.get("queue_depth")
+        degraded_decisions = counters.get(
+            "decisions_shed_degraded_clean", 0
+        ) + counters.get("decisions_shed_degraded_flagged", 0)
+        return {
+            "generation": self.generation,
+            "set_version": self.set_version,
+            "n_signatures": len(self.matcher),
+            "shed_policy": self.config.shed_policy.value,
+            "queue_capacity": self.config.queue_capacity,
+            "queue_depth_p50": depth.percentile(0.50) if depth is not None else 0.0,
+            "queue_depth_max": depth.max_value if depth is not None else 0.0,
+            "admitted": counters.get("admitted", 0),
+            "shed": counters.get("shed", 0),
+            "shed_dropped": counters.get("decisions_shed_dropped", 0),
+            "shed_degraded": degraded_decisions,
+            "batches": counters.get("batches", 0),
+            "reloads_applied": counters.get("reloads_applied", 0),
+            "reloads_rejected": counters.get("reloads_rejected", 0),
+            "degraded": degraded_decisions > 0,
+        }
+
     # -- the event loop -----------------------------------------------------------
 
     def run(

@@ -59,6 +59,27 @@ class TestCheckReport:
         assert any("expected an object" in p for p in check_report([1, 2]))
 
 
+def service_payload(**overrides) -> dict:
+    payload = {name: object() for name in REQUIRED_FIELDS["service"]}
+    payload.update(bench="service", identical=True, ok=True, violations=[])
+    payload.update(overrides)
+    return payload
+
+
+class TestServiceFamily:
+    def test_valid_service_report_is_clean(self):
+        assert check_report(service_payload()) == []
+
+    def test_lost_identity_proof_is_drift(self):
+        problems = check_report(service_payload(identical=False))
+        assert any("'identical'" in p and "must be true" in p for p in problems)
+
+    def test_missing_latency_is_drift(self):
+        payload = service_payload()
+        del payload["latency_ms"]
+        assert any("'latency_ms'" in p for p in check_report(payload))
+
+
 class TestCheckFile:
     def test_unparseable_file(self, tmp_path):
         path = tmp_path / "BENCH_broken.json"

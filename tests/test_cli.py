@@ -163,6 +163,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_all_verbs_listed_and_dispatch(self, capsys):
+        from repro.cli import (
+            build_parser,
+            cmd_serve,
+            cmd_service,
+            cmd_service_bench,
+        )
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--help"])
+        help_text = capsys.readouterr().out
+        for verb in (
+            "corpus", "label", "generate", "screen", "risk", "export",
+            "analyze", "redact", "report", "fig4", "bench", "stream",
+            "serve", "service", "service-bench", "chaos", "federate",
+            "trace", "metrics",
+        ):
+            assert verb in help_text, verb
+        # serve (offline bench) vs service (network server) stay distinct
+        assert "OFFLINE" in help_text
+        assert "NETWORK-FACING" in help_text
+        assert parser.parse_args(["serve", "--quick"]).func is cmd_serve
+        assert parser.parse_args(["service"]).func is cmd_service
+        assert parser.parse_args(["service-bench", "--quick"]).func is cmd_service_bench
+
+    def test_service_verb_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["service", "--port", "8080", "--db", "x.db"])
+        assert (args.host, args.port, args.db) == ("127.0.0.1", 8080, "x.db")
+        assert args.ready_file == ""
+
+
+
 
 class TestExport:
     def test_export_mitmproxy(self, workspace, capsys, tmp_path):
@@ -312,6 +347,29 @@ class TestServe:
         assert len(jsonl) == 2
         last = json.loads(jsonl[0].read_text().splitlines()[-1])
         assert last["kind"] == "summary"
+
+
+class TestServiceBench:
+    def test_quick_service_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        code = main(
+            [
+                "service-bench", "--quick", "--apps", "30", "--clients", "25",
+                "--ops", "4", "--sample", "30", "--pool", "8", "--seed", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Service bench" in text
+        assert "budget: ok" in text
+        data = json.loads(out.read_text())
+        assert data["bench"] == "service"
+        assert data["ok"] is True
+        assert data["identical"] is True
+        assert data["n_5xx"] == 0
+        assert data["server"]["backend"] == "sqlite"
+        assert data["republication"]["stale_status"] == 409
 
 
 class TestBench:

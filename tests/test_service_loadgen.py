@@ -1,0 +1,143 @@
+"""The closed-loop socket load harness, at smoke scale."""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    DEFAULT_MIX,
+    ServiceBudget,
+    ServiceReport,
+    run_service_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_service_bench(
+        n_apps=30,
+        n_clients=24,
+        ops_per_client=5,
+        sample=30,
+        seed=5,
+        pool_workers=8,
+        budget=ServiceBudget(min_requests=24 * 5),
+    )
+
+
+class TestHarnessRun:
+    def test_budget_ok(self, small_run):
+        assert small_run.violations == []
+        assert small_run.ok
+
+    def test_every_operation_exercised(self, small_run):
+        assert small_run.n_requests == 24 * 5
+        assert set(small_run.requests) <= set(DEFAULT_MIX)
+        assert small_run.requests.get("screen", 0) > 0
+        assert small_run.requests.get("fetch", 0) > 0
+
+    def test_identity_checks_pass(self, small_run):
+        assert small_run.checks["screen_identical"] is True
+        assert small_run.checks["boot_fetch_identical"] is True
+        assert small_run.checks["fetch_roundtrip_identical"] is True
+        assert small_run.checks["healthz_ok"] is True
+        assert small_run.identical
+
+    def test_zero_5xx(self, small_run):
+        assert small_run.n_5xx == 0
+        assert small_run.error_rate == 0.0
+
+    def test_midrun_republication_happened(self, small_run):
+        assert small_run.republication["status"] == 201
+        assert small_run.republication["set_version"] == 2
+        assert small_run.republication["stale_status"] == 409
+        assert small_run.gateway["reloads_applied"] == 1
+
+    def test_bursts_exercise_shedding(self, small_run):
+        assert small_run.screen["shed"] > 0
+        assert 0.0 < small_run.shed_rate <= 0.25
+
+    def test_latency_percentiles_present(self, small_run):
+        stats = small_run.latency_ms["all"]
+        assert stats["count"] == small_run.n_requests
+        assert 0 < stats["p50"] <= stats["p95"] <= stats["p99"]
+
+
+class TestReportShape:
+    def test_schema_fields(self, small_run):
+        payload = small_run.to_dict()
+        for field in (
+            "bench", "corpus", "server", "workload", "n_clients",
+            "requests", "status_counts", "latency_ms", "republication",
+            "checks", "gateway", "budget", "violations", "ok", "identical",
+        ):
+            assert field in payload, field
+        assert payload["bench"] == "service"
+        assert payload["server"]["backend"] == "sqlite"
+
+    def test_json_roundtrip_and_save(self, small_run, tmp_path):
+        path = small_run.save(tmp_path / "BENCH_service.json")
+        again = json.loads(path.read_text())
+        assert again == small_run.to_dict()
+
+    def test_render_mentions_the_gates(self, small_run):
+        text = small_run.render()
+        assert "screen_identical=True" in text
+        assert "budget: ok" in text
+
+
+class TestBudget:
+    def base_report(self, **overrides):
+        report = ServiceReport(
+            n_apps=10, seed=0, n_clients=4, ops_per_client=2, pool_workers=2,
+            server={"backend": "memory", "unhandled_errors": 0},
+            workload={},
+        )
+        report.requests = {"fetch": 200}
+        report.status_counts = {"200": 200}
+        report.checks = {"screen_identical": True, "fetch_roundtrip_identical": True}
+        report.gateway = {"reloads_applied": 1}
+        report.screen = {"decisions": 100, "shed": 0}
+        for name, value in overrides.items():
+            setattr(report, name, value)
+        return report
+
+    def test_clean_report_passes(self):
+        assert ServiceBudget().violations(self.base_report()) == []
+
+    def test_identity_failure_always_fatal(self):
+        report = self.base_report(
+            checks={"screen_identical": False, "fetch_roundtrip_identical": True}
+        )
+        violations = ServiceBudget().violations(report)
+        assert any("diverge" in v for v in violations)
+
+    def test_5xx_gate(self):
+        report = self.base_report(status_counts={"200": 199, "500": 1})
+        assert any("5xx" in v for v in ServiceBudget().violations(report))
+        # server-side unhandled errors count even if no client saw a 500
+        report = self.base_report(
+            server={"backend": "memory", "unhandled_errors": 2}
+        )
+        assert report.n_5xx == 2
+
+    def test_shed_rate_gate(self):
+        report = self.base_report(screen={"decisions": 100, "shed": 40})
+        budget = ServiceBudget(max_screen_shed_rate=0.25)
+        assert any("shed rate" in v for v in budget.violations(report))
+
+    def test_planned_conflict_not_an_error(self):
+        report = self.base_report(status_counts={"200": 199, "409": 1})
+        report.republication = {"stale_conflicts": 1}
+        assert report.error_rate == 0.0
+
+    def test_min_requests_gate(self):
+        report = self.base_report(requests={"fetch": 3})
+        assert any("requests" in v for v in ServiceBudget().violations(report))
+
+
+class TestBenchcheckIntegration:
+    def test_report_passes_committed_schema_gate(self, small_run):
+        from repro.eval.benchcheck import check_report
+
+        assert check_report(small_run.to_dict()) == []

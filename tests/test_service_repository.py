@@ -1,0 +1,274 @@
+"""Service persistence: repositories over in-memory and sqlite backends."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.errors import ServiceError, SignatureStoreError
+from repro.service.repository import (
+    MIGRATIONS,
+    InMemoryReportRepository,
+    InMemorySignatureRepository,
+    SqliteReportRepository,
+    SqliteSignatureRepository,
+    SqliteStore,
+    open_repositories,
+)
+from repro.signatures.conjunction import ConjunctionSignature
+from repro.signatures.store import SignatureStore
+
+
+def sigs(n: int = 2):
+    return [
+        ConjunctionSignature(tokens=(f"udid=abc{i}", "seq="), scope_domain="admob.com")
+        for i in range(n)
+    ]
+
+
+def envelope_doc(set_version: int, n: int = 2) -> str:
+    return SignatureStore.dumps_envelope(sigs(n), set_version)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def sig_repo(request, tmp_path):
+    if request.param == "memory":
+        yield InMemorySignatureRepository()
+    else:
+        store = SqliteStore(tmp_path / "repo.sqlite3")
+        yield SqliteSignatureRepository(store)
+        store.close()
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def report_repo(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryReportRepository()
+    else:
+        store = SqliteStore(tmp_path / "repo.sqlite3")
+        yield SqliteReportRepository(store)
+        store.close()
+
+
+class TestSignatureRepository:
+    def test_empty(self, sig_repo):
+        assert sig_repo.latest_version() == 0
+        assert sig_repo.latest() is None
+        assert sig_repo.get(1) is None
+        assert sig_repo.versions() == []
+        assert sig_repo.corrupt_reads() == 0
+
+    def test_store_roundtrip_is_verbatim(self, sig_repo):
+        document = envelope_doc(1)
+        stored = sig_repo.store(document)
+        assert stored.set_version == 1
+        found_document, found_envelope = sig_repo.latest()
+        assert found_document == document  # byte-identical, not re-serialized
+        assert found_envelope.checksum == stored.checksum
+        assert sig_repo.get(1)[0] == document
+
+    def test_versions_accumulate(self, sig_repo):
+        sig_repo.store(envelope_doc(1))
+        sig_repo.store(envelope_doc(3))
+        assert sig_repo.versions() == [1, 3]
+        assert sig_repo.latest_version() == 3
+        assert sig_repo.latest()[1].set_version == 3
+        assert sig_repo.get(1)[1].set_version == 1
+
+    def test_stale_publish_rejected(self, sig_repo):
+        sig_repo.store(envelope_doc(2))
+        for stale in (1, 2):
+            with pytest.raises(ServiceError, match="stale publish"):
+                sig_repo.store(envelope_doc(stale))
+        assert sig_repo.versions() == [2]  # nothing was persisted
+
+    def test_corrupt_document_rejected_on_write(self, sig_repo):
+        with pytest.raises(SignatureStoreError):
+            sig_repo.store('{"not": "an envelope"}')
+        assert sig_repo.latest() is None
+
+
+class TestCorruptionDegradation:
+    def corrupt_version(self, repo, version: int) -> None:
+        if isinstance(repo, InMemorySignatureRepository):
+            repo.corrupt(version, '{"garbage": true}')
+        else:
+            repo.store_backend.write(
+                "UPDATE signature_envelopes SET document = ? WHERE set_version = ?",
+                ('{"garbage": true}', version),
+            )
+
+    def test_degrades_to_last_known_good(self, sig_repo):
+        good = envelope_doc(1)
+        sig_repo.store(good)
+        sig_repo.store(envelope_doc(2))
+        self.corrupt_version(sig_repo, 2)
+        document, envelope = sig_repo.latest()
+        assert envelope.set_version == 1
+        assert document == good
+        assert sig_repo.corrupt_reads() == 1
+        assert sig_repo.get(2) is None
+        # the raw history still lists the corrupt version
+        assert sig_repo.versions() == [1, 2]
+
+    def test_all_corrupt_is_none(self, sig_repo):
+        sig_repo.store(envelope_doc(1))
+        self.corrupt_version(sig_repo, 1)
+        assert sig_repo.latest() is None
+        assert sig_repo.corrupt_reads() >= 1
+
+    def test_checksum_tamper_detected(self, sig_repo):
+        # flip payload bytes but keep valid JSON: the stored checksum no
+        # longer matches, so read-time verification must refuse the row
+        document = envelope_doc(1, n=3)
+        sig_repo.store(document)
+        tampered = document.replace("udid=abc0", "udid=evil0")
+        if isinstance(sig_repo, InMemorySignatureRepository):
+            sig_repo.corrupt(1, tampered)
+        else:
+            sig_repo.store_backend.write(
+                "UPDATE signature_envelopes SET document = ? WHERE set_version = 1",
+                (tampered,),
+            )
+        assert sig_repo.latest() is None
+        assert sig_repo.corrupt_reads() == 1
+
+
+class TestReportRepository:
+    def test_add_and_count(self, report_repo):
+        assert report_repo.add("dev-a", 1, "tok-1", {"v": 1}) is True
+        assert report_repo.add("dev-a", 2, "tok-1", {"v": 2}) is True
+        assert report_repo.count() == 2
+
+    def test_redelivery_is_idempotent(self, report_repo):
+        assert report_repo.add("dev-a", 1, "tok-1", {"v": 1}) is True
+        assert report_repo.add("dev-a", 1, "tok-1", {"v": 1}) is False
+        assert report_repo.count() == 1
+
+    def test_token_support_counts_distinct_devices(self, report_repo):
+        report_repo.add("dev-a", 1, "tok-1", {})
+        report_repo.add("dev-a", 2, "tok-1", {})  # same device twice
+        report_repo.add("dev-b", 1, "tok-1", {})
+        report_repo.add("dev-b", 2, "tok-2", {})
+        assert report_repo.token_support() == {"tok-1": 2, "tok-2": 1}
+
+
+class TestSqliteStore:
+    def test_memory_path_rejected(self):
+        with pytest.raises(ServiceError, match="file path"):
+            SqliteStore(":memory:")
+
+    def test_migrations_apply_once(self, tmp_path):
+        path = tmp_path / "svc.sqlite3"
+        first = SqliteStore(path)
+        assert first.migrations_applied == len(MIGRATIONS)
+        assert first.schema_version() == len(MIGRATIONS)
+        first.close()
+        again = SqliteStore(path)  # re-open: nothing left to apply
+        assert again.migrations_applied == 0
+        assert again.schema_version() == len(MIGRATIONS)
+        again.close()
+
+    def test_wal_mode_pinned(self, tmp_path):
+        store = SqliteStore(tmp_path / "svc.sqlite3")
+        mode = store.connection().execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_data_survives_reopen(self, tmp_path):
+        path = tmp_path / "svc.sqlite3"
+        store = SqliteStore(path)
+        repo = SqliteSignatureRepository(store)
+        document = envelope_doc(1)
+        repo.store(document)
+        store.close()
+        reopened = SqliteSignatureRepository(SqliteStore(path))
+        assert reopened.latest()[0] == document
+        reopened.store_backend.close()
+
+    def test_open_repositories_wiring(self, tmp_path):
+        memory = open_repositories(None)
+        assert isinstance(memory[0], InMemorySignatureRepository)
+        assert memory[2] is None
+        durable = open_repositories(tmp_path / "svc.sqlite3")
+        assert isinstance(durable[0], SqliteSignatureRepository)
+        assert durable[2] is not None
+        durable[2].close()
+
+
+class TestConcurrency:
+    def test_readers_proceed_during_writer_transaction(self, tmp_path):
+        """WAL: thread-per-request readers never block behind the writer."""
+        path = tmp_path / "svc.sqlite3"
+        store = SqliteStore(path)
+        repo = SqliteSignatureRepository(store)
+        committed = envelope_doc(1)
+        repo.store(committed)
+
+        # open (and hold) an uncommitted writer transaction on this thread
+        writer = store.connection()
+        writer.execute("BEGIN IMMEDIATE")
+        writer.execute(
+            "INSERT INTO signature_envelopes (set_version, checksum, document) "
+            "VALUES (?, ?, ?)",
+            (2, "deadbeef", envelope_doc(2)),
+        )
+
+        seen: list = []
+        errors: list = []
+
+        def read() -> None:
+            try:
+                # each thread gets its own connection from the store
+                seen.append(repo.latest())
+            except sqlite3.Error as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        writer.rollback()
+
+        assert not errors
+        assert len(seen) == 8
+        # snapshot isolation: every reader saw the committed version only
+        assert all(found[0] == committed for found in seen)
+        store.close()
+
+    def test_concurrent_writers_keep_history_consistent(self, tmp_path):
+        """Racing publishers: exactly one insert per version wins."""
+        store = SqliteStore(tmp_path / "svc.sqlite3")
+        repo = SqliteSignatureRepository(store)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def publish(version: int) -> None:
+            barrier.wait()
+            try:
+                repo.store(envelope_doc(version))
+                result = "stored"
+            except ServiceError:
+                result = "rejected"
+            with lock:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(target=publish, args=(version,))
+            for version in (1, 1, 2, 2, 3, 3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert len(outcomes) == 6
+        # history is a clean monotone prefix subset regardless of the race
+        stored = repo.versions()
+        assert stored == sorted(set(stored))
+        assert set(stored) <= {1, 2, 3}
+        assert repo.latest()[1].set_version == max(stored)
+        assert outcomes.count("stored") == len(stored)
+        store.close()

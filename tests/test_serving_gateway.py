@@ -260,3 +260,65 @@ class TestValidationAndTelemetry:
         gateway = ScreeningGateway(list(channel.envelope(1).signatures))
         results = gateway.run([event])
         assert len(results) == 1 and results[0].screened
+
+
+class TestHealthSnapshot:
+    def test_fresh_gateway_snapshot(self, channel):
+        gateway = ScreeningGateway(list(channel.envelope(1).signatures))
+        snapshot = gateway.health_snapshot()
+        assert snapshot["generation"] == 1
+        assert snapshot["set_version"] == 1
+        assert snapshot["n_signatures"] == len(channel.envelope(1).signatures)
+        assert snapshot["admitted"] == 0 and snapshot["shed"] == 0
+        assert snapshot["degraded"] is False
+
+    def test_snapshot_consistent_with_counters_under_load(self, small_corpus, channel):
+        gateway, results, stream = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.1, queue_capacity=8,
+        )
+        snapshot = gateway.health_snapshot()
+        counters = gateway.telemetry.counters
+        assert snapshot["admitted"] == counters["admitted"]
+        assert snapshot["shed"] == counters["shed"]
+        assert snapshot["admitted"] + snapshot["shed"] == len(stream)
+        assert snapshot["generation"] == gateway.generation == 2
+        assert snapshot["set_version"] == 2
+        assert snapshot["reloads_applied"] == 1
+        assert snapshot["queue_depth_max"] <= 8
+        assert snapshot["queue_depth_p50"] <= snapshot["queue_depth_max"]
+
+    def test_degraded_flag_tracks_shed_policy(self, small_corpus, channel):
+        gateway, results, __ = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.05, queue_capacity=4,
+            policy=ShedPolicy.DEGRADE, with_reload=False,
+        )
+        snapshot = gateway.health_snapshot()
+        assert snapshot["shed"] > 0
+        assert snapshot["degraded"] is True
+        assert snapshot["shed_degraded"] == snapshot["shed"]
+        assert snapshot["shed_dropped"] == 0
+
+    def test_dropped_not_flagged_degraded(self, small_corpus, channel):
+        gateway, results, __ = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.05, queue_capacity=4,
+            policy=ShedPolicy.DROP, with_reload=False,
+        )
+        snapshot = gateway.health_snapshot()
+        assert snapshot["shed"] > 0
+        assert snapshot["shed_dropped"] == snapshot["shed"]
+        assert snapshot["degraded"] is False
+
+    def test_snapshot_is_stable_and_json_safe(self, small_corpus, channel):
+        import json as json_module
+
+        gateway, __, __s = run_gateway(
+            small_corpus, channel, batch_size=4, n_shards=2,
+            mean_interarrival=0.1, queue_capacity=8,
+        )
+        first = gateway.health_snapshot()
+        second = gateway.health_snapshot()
+        assert first == second  # reading health must not mutate state
+        json_module.dumps(first)  # and it must serialize as-is
