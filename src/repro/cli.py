@@ -21,7 +21,10 @@
                   --out BENCH_streaming.json
     repro serve   --apps 120 --events 4000 --shards 4 --out BENCH_serving.json
     repro service --apps 120 --port 8080 --db service.sqlite3
-    repro service-bench --clients 1000 --ops 6 --out BENCH_service.json
+    repro service-bench --clients 1000 --ops 6 --out BENCH_service.json \
+                  --trace-dir service_trace
+    repro slo     --bench BENCH_service.json
+    repro slo     --access-log service_trace/access_log.jsonl
     repro trace   --apps 60 --sample 40 --seed 0 --out trace_out
     repro metrics --apps 60 --events 1200 --seed 0 --out metrics_out
 
@@ -474,6 +477,7 @@ def cmd_service_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         pool_workers=args.pool,
         budget=budget,
+        trace_dir=args.trace_dir or None,
     )
     emit_report(args, report.render(), report.to_dict())
     if args.out:
@@ -481,6 +485,64 @@ def cmd_service_bench(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"wrote {args.out}")
     return 0 if report.ok else 1
+
+
+def _render_slo(payload: dict) -> str:
+    """Human rendering of one SLO report section."""
+    verdict = "OK" if payload.get("ok") else "VIOLATED"
+    lines = [
+        f"SLO report — {verdict} "
+        f"(page_alerts={payload.get('page_alerts', 0)} "
+        f"ticket_alerts={payload.get('ticket_alerts', 0)})",
+        f"  {'objective':<16} {'kind':<12} {'target':>8} {'compliance':>11} "
+        f"{'budget left':>12} {'ok':>4}",
+    ]
+    objectives = payload.get("objectives") or {}
+    for name in sorted(objectives):
+        obj = objectives[name]
+        budget = obj.get("budget") or {}
+        lines.append(
+            f"  {name:<16} {obj.get('kind', '?'):<12} {obj.get('target', 0):>8} "
+            f"{obj.get('compliance', 0):>11.6f} "
+            f"{budget.get('remaining', 0):>12} "
+            f"{'yes' if obj.get('ok') else 'NO':>4}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.eval.benchcheck import check_slo_section
+    from repro.obs.slo import replay_access_log
+
+    if bool(args.bench) == bool(args.access_log):
+        print("slo: pass exactly one of --bench or --access-log", file=sys.stderr)
+        return 2
+    if args.bench:
+        report = json.loads(Path(args.bench).read_text(encoding="utf-8"))
+        section = report.get("slo") if report.get("bench") != "slo" else report
+        if not isinstance(section, dict):
+            print(f"{args.bench}: no 'slo' section found", file=sys.stderr)
+            return 2
+        payload = dict(section)
+        payload.setdefault("bench", "slo")
+        payload["source"] = str(args.bench)
+    else:
+        engine = replay_access_log(args.access_log)
+        payload = engine.report()
+        payload["bench"] = "slo"
+        payload["source"] = str(args.access_log)
+    problems = check_slo_section(payload)
+    text = _render_slo(payload)
+    if problems:
+        text += "\n" + "\n".join(f"  problem: {p}" for p in problems)
+    emit_report(args, text, payload)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if not problems else 1
 
 
 def cmd_federate(args: argparse.Namespace) -> int:
@@ -754,9 +816,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", type=int, default=32, help="client thread-pool size")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quick", action="store_true", help="smoke scale for CI")
+    p.add_argument("--trace-dir", default="",
+                   help="enable request tracing and write span logs, the joined "
+                        "cross-process Chrome trace, the access log, and any "
+                        "flight-recorder dumps into this directory")
     p.add_argument("--out", default="", help="write the JSON report here")
     add_json_flag(p)
     p.set_defaults(func=cmd_service_bench)
+
+    p = sub.add_parser(
+        "slo",
+        help="inspect an SLO report: validate the slo section of a committed "
+        "BENCH_service.json, or replay a service access log through the "
+        "SLO engine",
+    )
+    p.add_argument("--bench", default="",
+                   help="BENCH_service.json (or standalone slo report) to validate")
+    p.add_argument("--access-log", default="",
+                   help="service access_log.jsonl to replay through the SLO engine")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("chaos", help="sweep fault rates over a target subsystem")
     p.add_argument("--target", choices=("distribution", "pipeline", "federation"),

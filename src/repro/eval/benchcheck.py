@@ -52,7 +52,10 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "bench", "corpus", "cpu_count", "server", "workload", "n_clients",
         "n_requests", "requests", "status_counts", "error_rate", "n_5xx",
         "latency_ms", "screen", "republication", "checks", "gateway",
-        "identical", "budget", "violations", "ok",
+        "slo", "tracing", "identical", "budget", "violations", "ok",
+    ),
+    "slo": (
+        "bench", "objectives", "page_alerts", "ticket_alerts", "ok",
     ),
 }
 
@@ -66,7 +69,41 @@ TRUE_FLAGS: dict[str, tuple[str, ...]] = {
     "streaming": ("identical", "ok"),
     "streaming_audit": ("identical", "ok"),
     "service": ("identical", "ok"),
+    "slo": ("ok",),
 }
+
+
+def check_slo_section(section: object) -> list[str]:
+    """Problems with one SLO report section (nested or standalone).
+
+    A committed report must show every objective inside its error budget
+    and zero page-severity burn alerts — an SLO section that records its
+    own violation is a failed gate, not a trajectory of record.
+    """
+    problems: list[str] = []
+    if not isinstance(section, dict):
+        return [f"slo section is {type(section).__name__}, expected an object"]
+    objectives = section.get("objectives")
+    if not isinstance(objectives, dict) or not objectives:
+        problems.append("slo section carries no objectives")
+    else:
+        for name in sorted(objectives):
+            objective = objectives[name]
+            if not isinstance(objective, dict):
+                problems.append(f"slo objective {name!r} is not an object")
+                continue
+            for key in ("kind", "target", "compliance", "budget", "alerts", "ok"):
+                if key not in objective:
+                    problems.append(f"slo objective {name!r} missing {key!r}")
+            if objective.get("ok") is not True:
+                problems.append(f"slo objective {name!r} is not ok")
+    if section.get("page_alerts") != 0:
+        problems.append(
+            f"slo section carries {section.get('page_alerts')!r} page-severity burn alerts"
+        )
+    if section.get("ok") is not True:
+        problems.append(f"slo verdict 'ok' is {section.get('ok')!r}, must be true")
+    return problems
 
 
 def check_report(payload: object) -> list[str]:
@@ -89,6 +126,10 @@ def check_report(payload: object) -> list[str]:
     for name in TRUE_FLAGS[bench]:
         if name in payload and payload[name] is not True:
             problems.append(f"flag {name!r} is {payload[name]!r}, must be true")
+    if bench == "slo":
+        problems.extend(check_slo_section(payload))
+    elif bench == "service" and "slo" in payload:
+        problems.extend(check_slo_section(payload["slo"]))
     violations = payload.get("violations")
     if isinstance(violations, list) and violations:
         problems.append(f"report carries budget violations: {violations}")

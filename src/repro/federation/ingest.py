@@ -118,6 +118,9 @@ class SubmitResult:
     :param degraded: whether the DEGRADE slow path produced this verdict.
     :param reason: validation-failure category for ``REJECTED_MALFORMED``.
     :param shard: which shard handled (or shed) the envelope.
+    :param banned: whether *this* submission tripped the device's breaker
+        into quarantine — the signal an incident recorder wants, distinct
+        from ``REJECTED_QUARANTINED`` (which marks already-banned devices).
     """
 
     status: ReportStatus
@@ -125,6 +128,7 @@ class SubmitResult:
     degraded: bool = False
     reason: str = ""
     shard: int = -1
+    banned: bool = False
 
     @property
     def accepted(self) -> bool:
@@ -191,8 +195,13 @@ class FleetIngest:
             return 0
         return math.ceil(lag / self.config.per_report_ticks) if self.config.per_report_ticks else 0
 
-    def _punish(self, device_id: str, error: ReportValidationError | None, tick: float, reason: str) -> None:
-        """One protocol violation: extend the streak, maybe quarantine."""
+    def _punish(
+        self, device_id: str, error: ReportValidationError | None, tick: float, reason: str
+    ) -> bool:
+        """One protocol violation: extend the streak, maybe quarantine.
+
+        :returns: whether this violation tripped the device into a ban.
+        """
         ledger = self._ledger(device_id)
         if ledger.breaker is None:
             ledger.breaker = CircuitBreaker(
@@ -200,21 +209,23 @@ class FleetIngest:
                 cooldown=self.config.quarantine_release_ticks,
             )
         ledger.breaker.record_failure(tick)
-        if ledger.breaker.state(tick) is BreakerState.OPEN:
-            self.quarantine.ban(
-                device_id,
-                tick,
-                error=error or ReportValidationError(f"violation streak: {reason}", reason=reason),
-                reason=reason,
-            )
-            # The ban owns the cooldown clock from here; a fresh breaker
-            # means re-admission starts with a clean streak (and re-trips
-            # after another `breaker_threshold` violations, not one).
-            ledger.breaker = CircuitBreaker(
-                failure_threshold=self.config.breaker_threshold,
-                cooldown=self.config.quarantine_release_ticks,
-            )
-            self.obs.inc("fed_ingest_quarantine_bans")
+        if ledger.breaker.state(tick) is not BreakerState.OPEN:
+            return False
+        self.quarantine.ban(
+            device_id,
+            tick,
+            error=error or ReportValidationError(f"violation streak: {reason}", reason=reason),
+            reason=reason,
+        )
+        # The ban owns the cooldown clock from here; a fresh breaker
+        # means re-admission starts with a clean streak (and re-trips
+        # after another `breaker_threshold` violations, not one).
+        ledger.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown=self.config.quarantine_release_ticks,
+        )
+        self.obs.inc("fed_ingest_quarantine_bans")
+        return True
 
     def _count(self, status: ReportStatus, degraded: bool) -> None:
         self.counts[status.value] += 1
@@ -263,14 +274,16 @@ class FleetIngest:
             report = decode_report(record)
         except ReportValidationError as exc:
             self.rejection_reasons[exc.reason] = self.rejection_reasons.get(exc.reason, 0) + 1
+            banned = False
             if device_id:
-                self._punish(device_id, exc, tick, exc.reason)
+                banned = self._punish(device_id, exc, tick, exc.reason)
             self._count(ReportStatus.REJECTED_MALFORMED, degraded=degraded)
             return SubmitResult(
                 status=ReportStatus.REJECTED_MALFORMED,
                 degraded=degraded,
                 reason=exc.reason,
                 shard=shard,
+                banned=banned,
             )
 
         # 4. Replay defense: monotonic sequence + bounded dedup window.
@@ -282,9 +295,11 @@ class FleetIngest:
             else:
                 status = ReportStatus.REJECTED_REPLAY
                 reason = "replay"
-            self._punish(report.device_id, None, tick, reason)
+            banned = self._punish(report.device_id, None, tick, reason)
             self._count(status, degraded=degraded)
-            return SubmitResult(status=status, degraded=degraded, reason=reason, shard=shard)
+            return SubmitResult(
+                status=status, degraded=degraded, reason=reason, shard=shard, banned=banned
+            )
 
         # Accepted: advance the ledger and charge the service cost.
         ledger.high_watermark = report.seq

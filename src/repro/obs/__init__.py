@@ -18,6 +18,20 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.context import (
+    NULL_FLIGHT_RECORDER,
+    NULL_REQUEST_TRACER,
+    FlightRecorder,
+    RequestSpan,
+    RequestTracer,
+    TraceContext,
+    audit_trace_join,
+    export_joined_chrome_trace,
+    export_request_spans_jsonl,
+    join_chrome_trace,
+    load_request_spans,
+    parse_traceparent,
+)
 from repro.obs.export import (
     export_chrome_trace,
     export_metrics_text,
@@ -25,22 +39,47 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, Metrics
 from repro.obs.profile import StageProfile, StageStats
+from repro.obs.slo import (
+    DEFAULT_SERVICE_OBJECTIVES,
+    AlertSeverity,
+    BurnRule,
+    SloEngine,
+    SloObjective,
+    replay_access_log,
+)
 from repro.obs.tracer import Span, Tracer, deterministic_run_id
 
 __all__ = [
+    "AlertSeverity",
+    "BurnRule",
     "DEFAULT_BOUNDS",
+    "DEFAULT_SERVICE_OBJECTIVES",
+    "FlightRecorder",
     "Histogram",
     "Metrics",
+    "NULL_FLIGHT_RECORDER",
     "NULL_OBS",
+    "NULL_REQUEST_TRACER",
     "Observability",
+    "RequestSpan",
+    "RequestTracer",
+    "SloEngine",
+    "SloObjective",
     "Span",
     "StageProfile",
     "StageStats",
+    "TraceContext",
     "Tracer",
+    "audit_trace_join",
     "deterministic_run_id",
     "export_chrome_trace",
+    "export_joined_chrome_trace",
     "export_metrics_text",
+    "export_request_spans_jsonl",
     "export_spans_jsonl",
+    "join_chrome_trace",
+    "load_request_spans",
+    "parse_traceparent",
 ]
 
 

@@ -114,9 +114,16 @@ def run_traced_serving(
     :class:`~repro.core.distribution.SignatureChannel` publishes them, a
     :class:`~repro.core.distribution.SignatureFetcher` installs the set
     into a :class:`~repro.core.flowcontrol.FlowControlApp` (screening a
-    slice of the corpus), and a
+    slice of the corpus), a
     :class:`~repro.serving.gateway.ScreeningGateway` serves the full
-    event stream with a mid-stream hot reload.
+    event stream with a mid-stream hot reload, and a
+    :class:`~repro.service.server.SignatureService` runs one in-process
+    endpoint episode (fetch / publish / screen / health) so the
+    ``service_*`` counters and the ``service_request_ms`` histogram land
+    in the same export.  The service episode feeds
+    :meth:`~repro.service.server.SignatureService.observe_request` with
+    synthetic latencies derived from the call index — no wall clock —
+    so the artifact files stay byte-identical across runs.
     """
     from repro.core.distribution import SignatureChannel, SignatureFetcher
     from repro.core.flowcontrol import FlowControlApp
@@ -163,6 +170,10 @@ def run_traced_serving(
     midpoint = stream[len(stream) // 2].tick if stream else 0.0
     results = gateway.run(stream, reloads=[ReloadEvent(tick=midpoint, envelope=env2)])
 
+    service_summary = _service_episode(
+        metrics, corpus, v1=v1, v2=v2, events=events, seed=seed
+    )
+
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = {
@@ -181,11 +192,74 @@ def run_traced_serving(
         "shed": sum(1 for r in results if not r.screened),
         "final_generation": gateway.generation,
         "final_version": gateway.set_version,
+        "service": service_summary,
         "counters": dict(sorted(metrics.counters.items())),
     }
     return ScenarioArtifacts(
         out_dir=out_dir, paths=paths, obs=obs, profile=None, summary=summary
     )
+
+
+def _service_episode(
+    metrics: Any, corpus: Any, *, v1: list, v2: list, events: int, seed: int
+) -> dict[str, Any]:
+    """One in-process :class:`SignatureService` endpoint episode.
+
+    Drives the HTTP-free endpoint methods directly against a service
+    sharing the scenario's metrics registry, and accounts each call via
+    :meth:`~repro.service.server.SignatureService.observe_request` with
+    a synthetic latency (``2.0 + 1.5 * index`` ms) so the registry gains
+    ``service_request_ms`` observations without any wall-clock reads.
+    """
+    from repro.service.server import ServiceConfig, SignatureService
+    from repro.service.wire import encode_event
+    from repro.serving.loadgen import FleetLoadGenerator, LoadProfile
+    from repro.signatures.store import SignatureStore
+
+    service = SignatureService(
+        list(v1), config=ServiceConfig(seed=seed), metrics=metrics
+    )
+    service_events = [
+        encode_event(event)
+        for event in FleetLoadGenerator(corpus, LoadProfile(), seed=seed + 1).events(
+            max(1, min(events // 4, 200))
+        )
+    ]
+    calls: list[tuple[str, int]] = []
+
+    status, _document, version = service.fetch()
+    calls.append(("fetch", status))
+    status, _body = service.publish(SignatureStore.dumps_envelope(list(v2), version + 1))
+    calls.append(("publish", status))
+    status, screen_body = service.screen({"events": service_events})
+    calls.append(("screen", status))
+    status, _body, _version = service.fetch(since=version + 1)
+    calls.append(("fetch", status))
+    for index, (route, status) in enumerate(calls):
+        # Mirror the HTTP handler's accounting (route counter + request
+        # observation) so the merged export reads the same either way.
+        metrics.inc(f"service_requests_{route}")
+        metrics.inc(f"service_responses_{status}")
+        service.observe_request(route, status, 2.0 + 1.5 * index)
+    status, health_body = service.health()
+    calls.append(("health", status))
+    metrics.inc("service_requests_health")
+    metrics.inc(f"service_responses_{status}")
+    service.observe_request("health", status, 2.0 + 1.5 * (len(calls) - 1))
+
+    screened = sum(
+        1 for result in screen_body.get("results", []) if result.get("screened")
+    )
+    return {
+        "run_id": service.run_id,
+        "requests": [{"route": route, "status": status} for route, status in calls],
+        "events": len(service_events),
+        "screened": screened,
+        "shed": len(service_events) - screened,
+        "uptime_ticks": health_body["service"]["uptime_ticks"]
+        if isinstance(health_body.get("service"), dict)
+        else 0,
+    }
 
 
 def _stages_json(profile: StageProfile) -> str:

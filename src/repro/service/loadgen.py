@@ -49,7 +49,17 @@ from typing import Any
 from repro.core.server import SignatureServer
 from repro.eval.perf import cpu_count
 from repro.federation.report import DeviceReport, encode_report, token_for
+from repro.obs.context import (
+    NULL_REQUEST_TRACER,
+    RequestTracer,
+    audit_trace_join,
+    export_joined_chrome_trace,
+    export_request_spans_jsonl,
+    request_span_line,
+)
 from repro.obs.metrics import Histogram, Metrics
+from repro.obs.slo import SloEngine
+from repro.obs.tracer import deterministic_run_id
 from repro.serving.gateway import GatewayConfig, ScreeningGateway
 from repro.serving.loadgen import ScreeningEvent
 from repro.service.server import (
@@ -58,7 +68,12 @@ from repro.service.server import (
     ServiceServer,
     SignatureService,
 )
-from repro.service.wire import canonical_decisions, encode_event, encode_results
+from repro.service.wire import (
+    canonical_decisions,
+    encode_event,
+    encode_results,
+    inject_traceparent,
+)
 from repro.signatures.store import SignatureStore
 from repro.simulation.corpus import build_corpus
 from repro.simulation.rng import derive_rng
@@ -83,6 +98,9 @@ class ServiceBudget:
     :param max_screen_shed_rate: ceiling on shed screening decisions.
     :param min_requests: floor proving the harness actually ran.
     :param min_reloads_applied: hot reloads the gateway must have applied.
+    :param require_slo_ok: the live SLO evaluation must come back ``ok``
+        (every objective inside its error budget, zero page-severity burn
+        alerts).  ``None``/``False`` disables the gate.
     """
 
     max_5xx: int | None = 0
@@ -90,6 +108,7 @@ class ServiceBudget:
     max_screen_shed_rate: float | None = 0.25
     min_requests: int | None = 100
     min_reloads_applied: int | None = 1
+    require_slo_ok: bool | None = True
 
     def violations(self, report: "ServiceReport") -> list[str]:
         found: list[str] = []
@@ -98,6 +117,18 @@ class ServiceBudget:
             found.append("socket screening decisions diverge from in-process gateway")
         if not checks.get("fetch_roundtrip_identical"):
             found.append("fetched envelope is not byte-identical to the published one")
+        if "trace_join_complete" in checks and not checks["trace_join_complete"]:
+            found.append("client and server request traces do not join completely")
+        if self.require_slo_ok and report.slo and not report.slo.get("ok"):
+            failing = sorted(
+                name
+                for name, section in report.slo.get("objectives", {}).items()
+                if not section.get("ok")
+            )
+            found.append(
+                f"slo violated: {report.slo.get('page_alerts', 0)} page alerts, "
+                f"failing objectives {failing}"
+            )
         n_5xx = report.n_5xx
         if self.max_5xx is not None and n_5xx > self.max_5xx:
             found.append(f"{n_5xx} server errors (5xx) > {self.max_5xx}")
@@ -129,6 +160,7 @@ class ServiceBudget:
             "max_screen_shed_rate": self.max_screen_shed_rate,
             "min_requests": self.min_requests,
             "min_reloads_applied": self.min_reloads_applied,
+            "require_slo_ok": bool(self.require_slo_ok),
         }
 
 
@@ -151,6 +183,8 @@ class ServiceReport:
     republication: dict[str, Any] = field(default_factory=dict)
     checks: dict[str, bool] = field(default_factory=dict)
     gateway: dict[str, Any] = field(default_factory=dict)
+    slo: dict[str, Any] = field(default_factory=dict)
+    tracing: dict[str, Any] = field(default_factory=dict)
     wall_s: float = 0.0
     budget: dict[str, Any] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
@@ -217,6 +251,8 @@ class ServiceReport:
             "republication": self.republication,
             "checks": self.checks,
             "gateway": self.gateway,
+            "slo": self.slo,
+            "tracing": self.tracing,
             "wall_s": round(self.wall_s, 3),
             "requests_per_s": round(self.n_requests / self.wall_s, 1) if self.wall_s else 0.0,
             "identical": self.identical,
@@ -263,6 +299,23 @@ class ServiceReport:
             f"  checks: screen_identical={self.checks.get('screen_identical')} "
             f"fetch_roundtrip_identical={self.checks.get('fetch_roundtrip_identical')}"
         )
+        if self.slo:
+            parts = [
+                f"{name}={section['compliance']:.4f}/{section['target']}"
+                for name, section in sorted(self.slo.get("objectives", {}).items())
+            ]
+            lines.append(
+                f"  slo: ok={self.slo.get('ok')} page_alerts={self.slo.get('page_alerts')} "
+                f"ticket_alerts={self.slo.get('ticket_alerts')} " + " ".join(parts)
+            )
+        if self.tracing.get("enabled"):
+            join = self.tracing.get("join", {})
+            lines.append(
+                f"  tracing: client_spans={self.tracing.get('n_client_spans')} "
+                f"server_spans={self.tracing.get('n_server_spans')} "
+                f"joined={join.get('n_joined')}/{join.get('n_client_requests')} "
+                f"complete={join.get('complete')}"
+            )
         if self.violations:
             lines.append("  BUDGET VIOLATIONS:")
             lines.extend(f"    - {v}" for v in self.violations)
@@ -293,12 +346,17 @@ class _Client:
         self, op: str, method: str, path: str, body: bytes | None = None
     ) -> tuple[int, bytes]:
         headers = {"Content-Type": "application/json"} if body is not None else {}
-        started = time.perf_counter()
-        self.connection.request(method, path, body=body, headers=headers)
-        response = self.connection.getresponse()
-        payload = response.read()
-        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        with self.harness.tracer.request(op, route=op, client=self.index) as span:
+            inject_traceparent(headers, span.context if span is not None else None)
+            started = time.perf_counter()
+            self.connection.request(method, path, body=body, headers=headers)
+            response = self.connection.getresponse()
+            payload = response.read()
+            elapsed_ms = 1000.0 * (time.perf_counter() - started)
+            if span is not None:
+                span.attrs["status"] = response.status
         self.samples.append((op, response.status, elapsed_ms))
+        self.harness.slo.record_request(status=response.status, ms=elapsed_ms)
         return response.status, payload
 
     def _packet_events(self, n: int, spacing: float) -> list[dict[str, Any]]:
@@ -339,6 +397,7 @@ class _Client:
             self.screen_decisions += 1
             if not result["screened"]:
                 self.screen_shed += 1
+            self.harness.slo.record_decision(shed=not result["screened"])
             version = str(result["set_version"])
             self.decisions_by_version[version] = self.decisions_by_version.get(version, 0) + 1
 
@@ -404,6 +463,8 @@ class _Harness:
         screen_events: int,
         burst_events: int,
         reports_per_post: int,
+        tracer: RequestTracer | None = None,
+        slo: SloEngine | None = None,
     ) -> None:
         self.seed = seed
         self.packets = packets
@@ -413,6 +474,8 @@ class _Harness:
         self.screen_events = screen_events
         self.burst_events = burst_events
         self.reports_per_post = reports_per_post
+        self.tracer = tracer or NULL_REQUEST_TRACER
+        self.slo = slo or SloEngine()
         self.total_ops = ops_per_client * n_clients
         self.republish_at = max(1, self.total_ops // 2)
         self._done = 0
@@ -441,6 +504,7 @@ def run_service_bench(
     reports_per_post: int = 2,
     gateway_config: GatewayConfig | None = None,
     budget: ServiceBudget | None = None,
+    trace_dir: str | Path | None = None,
 ) -> ServiceReport:
     """Boot a live service, hammer it, audit identity, gate the budget.
 
@@ -449,12 +513,21 @@ def run_service_bench(
         bench always exercises the sqlite repository path.
     :param burst_events: events per burst screen; defaults to the
         admission queue capacity + 16, guaranteeing shedding engages.
+    :param trace_dir: when given, end-to-end tracing switches on: clients
+        stamp ``traceparent``, the server records span trees, and the
+        directory receives ``client_spans.jsonl`` / ``server_spans.jsonl``
+        / the joined cross-process ``trace_joined.json`` / the access log
+        / any flight-recorder dumps.  The client↔server join audit then
+        becomes a gated check.
     """
     budget = budget or ServiceBudget()
     mix = dict(mix or DEFAULT_MIX)
     gateway_config = gateway_config or GatewayConfig()
     if burst_events is None:
         burst_events = gateway_config.queue_capacity + 16
+    trace_path = Path(trace_dir) if trace_dir is not None else None
+    if trace_path is not None:
+        trace_path.mkdir(parents=True, exist_ok=True)
 
     corpus = build_corpus(n_apps=n_apps, seed=seed)
     generation_server = SignatureServer(corpus.payload_check())
@@ -471,7 +544,14 @@ def run_service_bench(
         service = SignatureService(
             boot_signatures,
             db_path=actual_db,
-            config=ServiceConfig(gateway=gateway_config),
+            config=ServiceConfig(
+                gateway=gateway_config,
+                seed=seed,
+                tracing=trace_path is not None,
+                access_log_path=(
+                    str(trace_path / "access_log.jsonl") if trace_path is not None else None
+                ),
+            ),
         )
         server = ServiceServer(service)
         host, port = server.start()
@@ -495,6 +575,7 @@ def run_service_bench(
                 reload_document=reload_document,
                 gateway_config=gateway_config,
                 budget=budget,
+                trace_dir=trace_path,
             )
         finally:
             server.stop()
@@ -568,9 +649,17 @@ def _run_against(
     reload_document: str,
     gateway_config: GatewayConfig,
     budget: ServiceBudget,
+    trace_dir: Path | None = None,
 ) -> ServiceReport:
     service = server.service
     checks: dict[str, bool] = {}
+    tracing_enabled = trace_dir is not None
+    client_tracer = (
+        RequestTracer("client", run_id=deterministic_run_id(seed, "service-clients"))
+        if tracing_enabled
+        else NULL_REQUEST_TRACER
+    )
+    slo = SloEngine()
 
     # Identity audits run against generation 1, before any reload.
     checks["screen_identical"] = _screen_identity_check(
@@ -590,6 +679,8 @@ def _run_against(
         screen_events=screen_events,
         burst_events=burst_events,
         reports_per_post=reports_per_post,
+        tracer=client_tracer,
+        slo=slo,
     )
     republication: dict[str, Any] = {
         "triggered_at_ops": harness.republish_at,
@@ -642,6 +733,32 @@ def _run_against(
     checks["metrics_exposed"] = (
         status == 200 and b"repro_service_requests_" in payload
     )
+
+    # Cross-process trace join: every client request span must reach its
+    # server span tree through the propagated trace id.
+    tracing: dict[str, Any] = {"enabled": tracing_enabled}
+    if tracing_enabled:
+        client_records = [request_span_line(s) for s in client_tracer.closed_spans]
+        server_records = [request_span_line(s) for s in service.request_tracer.closed_spans]
+        join = audit_trace_join(client_records, server_records)
+        checks["trace_join_complete"] = join["complete"]
+        tracing.update(
+            {
+                "n_client_spans": len(client_records),
+                "n_server_spans": len(server_records),
+                "join": join,
+            }
+        )
+        assert trace_dir is not None
+        export_request_spans_jsonl(client_tracer, trace_dir / "client_spans.jsonl")
+        export_request_spans_jsonl(service.request_tracer, trace_dir / "server_spans.jsonl")
+        export_joined_chrome_trace(
+            {"client": client_records, "server": server_records},
+            trace_dir / "trace_joined.json",
+        )
+        if service.flight_recorder.enabled:
+            service.flight_recorder.export_jsonl(trace_dir / "flight_recorder.jsonl")
+        service.close_access_log()
 
     # Aggregate client samples through the shared histogram estimator.
     registry = Metrics()
@@ -717,6 +834,8 @@ def _run_against(
         republication=republication,
         checks=checks,
         gateway=gateway_health,
+        slo=slo.report(),
+        tracing=tracing,
         wall_s=wall_s,
         budget=budget.to_dict(),
     )

@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Sequence
 from urllib.parse import parse_qs, urlsplit
 
@@ -49,11 +51,18 @@ from repro.errors import ServiceError, SignatureStoreError
 from repro.federation.ingest import FleetIngest, IngestConfig
 from repro.federation.report import token_for
 from repro.obs import Observability
+from repro.obs.context import (
+    NULL_FLIGHT_RECORDER,
+    NULL_REQUEST_TRACER,
+    FlightRecorder,
+    RequestTracer,
+)
 from repro.obs.metrics import Metrics
+from repro.obs.tracer import deterministic_run_id
 from repro.serving.gateway import GatewayConfig, ScreeningGateway
 from repro.serving.telemetry import ServingTelemetry
 from repro.service.repository import open_repositories
-from repro.service.wire import decode_event, encode_results
+from repro.service.wire import decode_event, encode_results, extract_traceparent
 from repro.signatures.conjunction import ConjunctionSignature
 from repro.signatures.store import SignatureStore
 
@@ -73,18 +82,34 @@ class ServiceConfig:
         submitted report (the service has no load generator driving it,
         so arrival ticks are synthesized monotonically).
     :param max_body_bytes: request-body bound; larger posts are ``413``.
+    :param seed: hashed (with the service config label) into the obs run
+        id that ``/healthz`` and every trace id carry.
+    :param tracing: record request-scoped server spans (route span plus
+        repository/gateway/ingest children), continuing any
+        ``traceparent`` the client sent.  Off by default; when off the
+        null tracer guarantees responses are byte-identical.
+    :param access_log_path: JSONL structured access log (route, status,
+        ms, trace id per line); ``None`` (the default) disables it.
+    :param flight_recorder_size: ring capacity of the incident flight
+        recorder; ``0`` disables it.
     """
 
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
     ingest: IngestConfig = field(default_factory=IngestConfig)
     report_tick_step: float = 1.0
     max_body_bytes: int = 32 * 1024 * 1024
+    seed: int = 0
+    tracing: bool = False
+    access_log_path: str | None = None
+    flight_recorder_size: int = 256
 
     def __post_init__(self) -> None:
         if self.report_tick_step <= 0:
             raise ServiceError("report_tick_step must be positive")
         if self.max_body_bytes < 1:
             raise ServiceError("max_body_bytes must be >= 1")
+        if self.flight_recorder_size < 0:
+            raise ServiceError("flight_recorder_size must be >= 0")
 
 
 class SignatureService:
@@ -116,6 +141,24 @@ class SignatureService:
         self.config = config or ServiceConfig()
         self.metrics = metrics or Metrics()
         self.metrics.histogram("service_request_ms", REQUEST_MS_BOUNDS)
+        self.run_id = deterministic_run_id(self.config.seed, "service")
+        self.request_tracer: RequestTracer = (
+            RequestTracer("server", run_id=self.run_id)
+            if self.config.tracing
+            else NULL_REQUEST_TRACER
+        )
+        self.flight_recorder: FlightRecorder = (
+            FlightRecorder(self.config.flight_recorder_size)
+            if self.config.flight_recorder_size
+            else NULL_FLIGHT_RECORDER
+        )
+        self._access_log = (
+            Path(self.config.access_log_path).open("a", encoding="utf-8")
+            if self.config.access_log_path
+            else None
+        )
+        self._obs_lock = threading.Lock()
+        self._requests_observed = 0
         self.signatures, self.reports, self.store = open_repositories(db_path)
         self.ingest = FleetIngest(
             self.config.ingest, obs=Observability(metrics=self.metrics)
@@ -141,7 +184,46 @@ class SignatureService:
             config=self.config.gateway,
             telemetry=ServingTelemetry(metrics=self.metrics),
             set_version=boot_version,
+            run_id=self.run_id,
         )
+
+    # -- request observation -------------------------------------------------------
+
+    def observe_request(self, route: str, status: int, ms: float, trace_id: str | None = None):
+        """Account one served request, wherever it was framed.
+
+        Both the HTTP handler and in-process callers (the ``repro
+        metrics`` episode) feed this, so the ``service_request_ms``
+        histogram, the uptime counter, the access log, and the flight
+        recorder agree regardless of transport.  A 5xx trips the flight
+        recorder — the requests leading up to the failure are frozen for
+        post-hoc debugging.
+        """
+        self.metrics.observe("service_request_ms", ms, REQUEST_MS_BOUNDS)
+        with self._obs_lock:
+            self._requests_observed += 1
+        record: dict[str, Any] = {
+            "kind": "access",
+            "route": route,
+            "status": status,
+            "ms": round(ms, 3),
+            "trace_id": trace_id,
+        }
+        self.flight_recorder.add(record)
+        if status >= 500:
+            self.flight_recorder.trip("5xx", route=route, status=status, trace_id=trace_id)
+        if self._access_log is not None:
+            line = json.dumps(record, sort_keys=True)
+            with self._obs_lock:
+                self._access_log.write(line + "\n")
+                self._access_log.flush()
+        return record
+
+    def close_access_log(self) -> None:
+        """Release the access-log handle (written lines are already flushed)."""
+        if self._access_log is not None:
+            self._access_log.close()
+            self._access_log = None
 
     # -- endpoint logic (HTTP-free) ------------------------------------------------
 
@@ -149,7 +231,10 @@ class SignatureService:
         """``POST /v1/signatures``: verify, persist, hot-reload."""
         try:
             with self._gateway_lock:
-                envelope = self.signatures.store(document)
+                with self.request_tracer.child("repository_write") as span:
+                    envelope = self.signatures.store(document)
+                    if span is not None:
+                        span.attrs["set_version"] = envelope.set_version
                 applied = self.gateway.apply_reload(envelope, tick=self._tick)
         except SignatureStoreError as exc:
             return 400, {"error": f"invalid envelope: {exc}"}
@@ -176,7 +261,8 @@ class SignatureService:
             envelope actually served, which is *lower* than
             ``latest_version()`` after degradation.
         """
-        found = self.signatures.latest()
+        with self.request_tracer.child("repository_read"):
+            found = self.signatures.latest()
         if found is None:
             return 404, {"error": "no valid signature set stored"}, 0
         document, envelope = found
@@ -195,12 +281,21 @@ class SignatureService:
         except ServiceError as exc:
             return 400, {"error": str(exc)}
         with self._gateway_lock:
-            try:
-                results = self.gateway.run(events)
-            except Exception as exc:  # tick-order violations etc.
-                return 400, {"error": str(exc)}
-            generation = self.gateway.generation
-            set_version = self.gateway.set_version
+            with self.request_tracer.child("gateway_screen", n_events=len(events)) as span:
+                try:
+                    results = self.gateway.run(events)
+                except Exception as exc:  # tick-order violations etc.
+                    return 400, {"error": str(exc)}
+                generation = self.gateway.generation
+                set_version = self.gateway.set_version
+                if span is not None:
+                    span.attrs["generation"] = generation
+                    span.attrs["set_version"] = set_version
+        shed = sum(1 for result in results if not result.screened)
+        if shed:
+            self.flight_recorder.trip(
+                "shed", route="screen", shed=shed, n_events=len(events)
+            )
         return 200, {
             "results": encode_results(results),
             "generation": generation,
@@ -216,27 +311,33 @@ class SignatureService:
         verdicts: list[dict[str, Any]] = []
         accepted = 0
         stored = 0
+        banned_devices: list[str] = []
         with self._ingest_lock:
-            for record in records:
-                self._tick += self.config.report_tick_step
-                result = self.ingest.submit(record, tick=self._tick)
-                verdict: dict[str, Any] = {
-                    "status": result.status.value,
-                    "retryable": result.status.retryable,
-                }
-                if result.reason:
-                    verdict["reason"] = result.reason
-                if result.accepted and result.report is not None:
-                    accepted += 1
-                    report = result.report
-                    if self.reports.add(
-                        report.device_id,
-                        report.seq,
-                        report.token,
-                        record if isinstance(record, dict) else {},
-                    ):
-                        stored += 1
-                verdicts.append(verdict)
+            with self.request_tracer.child("ingest_validate", n_reports=len(records)):
+                for record in records:
+                    self._tick += self.config.report_tick_step
+                    result = self.ingest.submit(record, tick=self._tick)
+                    verdict: dict[str, Any] = {
+                        "status": result.status.value,
+                        "retryable": result.status.retryable,
+                    }
+                    if result.reason:
+                        verdict["reason"] = result.reason
+                    if result.banned and isinstance(record, dict):
+                        banned_devices.append(str(record.get("device_id", "")))
+                    if result.accepted and result.report is not None:
+                        accepted += 1
+                        report = result.report
+                        if self.reports.add(
+                            report.device_id,
+                            report.seq,
+                            report.token,
+                            record if isinstance(record, dict) else {},
+                        ):
+                            stored += 1
+                    verdicts.append(verdict)
+        if banned_devices:
+            self.flight_recorder.trip("quarantine", devices=banned_devices)
         return 200, {"results": verdicts, "accepted": accepted, "stored": stored}
 
     def metrics_text(self) -> str:
@@ -247,8 +348,17 @@ class SignatureService:
         """``GET /healthz``: liveness plus public subsystem snapshots."""
         with self._gateway_lock:
             gateway = self.gateway.health_snapshot()
+        with self._obs_lock:
+            uptime_ticks = self._requests_observed
         return 200, {
             "ok": True,
+            "service": {
+                # The restart-detection pair: run_id is seed-derived and
+                # survives restarts, uptime_ticks resets with the process.
+                "run_id": self.run_id,
+                "uptime_ticks": uptime_ticks,
+                "flight_dumps": len(self.flight_recorder.dumps),
+            },
             "gateway": gateway,
             "ingest": self.ingest.stats(),
             "signatures": {
@@ -269,6 +379,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-service/1"
+    #: Status of the last response written on this connection turn, read
+    #: back by ``_guard`` for span attrs and access accounting.
+    last_status = 0
     # Responses are small and latency-gated by the bench: without
     # TCP_NODELAY, Nagle + delayed ACK adds ~40ms per keep-alive round
     # trip on loopback.
@@ -279,7 +392,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # request logging is the metrics registry's job
+        pass  # replaced by the structured access log in observe_request
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -299,6 +412,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         if payload:
             self.wfile.write(payload)
+        self.last_status = status
         self.service.metrics.inc(f"service_responses_{status}")
 
     def _respond_json(self, status: int, payload: dict[str, Any]) -> None:
@@ -307,23 +421,44 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Length", "0")
             self.end_headers()
+            self.last_status = 304
             self.service.metrics.inc("service_responses_304")
             return
         self._respond(status, body, "application/json")
 
     def _guard(self, route: str, handler) -> None:
-        """Run one route, mapping any escape to a counted JSON 500."""
-        self.service.metrics.inc(f"service_requests_{route}")
-        try:
-            handler()
-        except BrokenPipeError:  # client went away mid-response
-            self.service.metrics.inc("service_client_disconnects")
-        except Exception as exc:  # noqa: BLE001 — the zero-5xx budget counts these
-            self.service.metrics.inc("service_unhandled_errors")
+        """Run one route inside its trace span, mapping escapes to a 500.
+
+        The route span continues the client's ``traceparent`` context
+        when one arrived; either way the request lands in the access
+        accounting (histogram, access log, flight recorder) with the
+        status the client actually saw.
+        """
+        service = self.service
+        service.metrics.inc(f"service_requests_{route}")
+        context = extract_traceparent(self.headers)
+        self.last_status = 0
+        started = time.perf_counter()
+        with service.request_tracer.serve(route, context, route=route) as span:
             try:
-                self._respond_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-            except OSError:
-                pass
+                handler()
+            except BrokenPipeError:  # client went away mid-response
+                service.metrics.inc("service_client_disconnects")
+            except Exception as exc:  # noqa: BLE001 — the zero-5xx budget counts these
+                service.metrics.inc("service_unhandled_errors")
+                try:
+                    self._respond_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+                except OSError:
+                    pass
+            if span is not None:
+                span.attrs["status"] = self.last_status
+                span.attrs["set_version"] = service.gateway.set_version
+                span.attrs["generation"] = service.gateway.generation
+        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        trace_id = span.trace_id if span is not None else (
+            context.trace_id if context is not None else None
+        )
+        service.observe_request(route, self.last_status, elapsed_ms, trace_id=trace_id)
 
     # -- routes -------------------------------------------------------------------
 

@@ -17,8 +17,35 @@ from typing import Any, Sequence
 
 from repro.errors import ParseError, ServiceError
 from repro.http.packet import HttpPacket
+from repro.obs.context import TraceContext, parse_traceparent
 from repro.serving.gateway import ServeResult
 from repro.serving.loadgen import ScreeningEvent
+
+#: The W3C trace-propagation header both sides of the socket agree on.
+TRACEPARENT_HEADER = "traceparent"
+
+
+def inject_traceparent(headers: dict[str, str], context: TraceContext | None) -> dict[str, str]:
+    """Stamp an outgoing request's headers with the trace context.
+
+    A ``None`` context (tracing disabled) leaves the headers untouched,
+    so traced and untraced clients share one request path.
+    """
+    if context is not None:
+        headers[TRACEPARENT_HEADER] = context.to_traceparent()
+    return headers
+
+
+def extract_traceparent(headers: Any) -> TraceContext | None:
+    """Read the trace context from incoming headers (mapping-like).
+
+    Absent or malformed headers yield ``None`` — the request is served
+    identically, it just roots a fresh server-side trace.
+    """
+    getter = getattr(headers, "get", None)
+    if getter is None:
+        return None
+    return parse_traceparent(getter(TRACEPARENT_HEADER))
 
 
 def encode_event(event: ScreeningEvent) -> dict[str, Any]:

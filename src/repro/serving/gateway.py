@@ -158,6 +158,10 @@ class ScreeningGateway:
     :param telemetry: measurement sink (a fresh one is created if omitted).
     :param set_version: version label of the boot set (as published by
         :class:`~repro.core.distribution.SignatureChannel`).
+    :param run_id: observability run id surfaced by
+        :meth:`health_snapshot`; a fleet probe pairs it with
+        ``uptime_ticks`` to tell a silent restart (ticks reset to zero)
+        from a slow gateway (ticks still climbing).
     """
 
     def __init__(
@@ -166,9 +170,11 @@ class ScreeningGateway:
         config: GatewayConfig | None = None,
         telemetry: ServingTelemetry | None = None,
         set_version: int = 1,
+        run_id: str = "gateway",
     ) -> None:
         self.config = config or GatewayConfig()
         self.telemetry = telemetry or ServingTelemetry()
+        self.run_id = run_id
         self.generation = 1
         self.set_version = set_version
         self.matcher = ShardedMatcher(signatures, self.config.n_shards)
@@ -222,6 +228,10 @@ class ScreeningGateway:
             "decisions_shed_degraded_clean", 0
         ) + counters.get("decisions_shed_degraded_flagged", 0)
         return {
+            "run_id": self.run_id,
+            # Work processed this boot: resets to zero on restart while
+            # run_id (seed-derived) stays put — the restart-detection pair.
+            "uptime_ticks": counters.get("admitted", 0) + counters.get("shed", 0),
             "generation": self.generation,
             "set_version": self.set_version,
             "n_signatures": len(self.matcher),

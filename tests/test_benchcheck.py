@@ -59,9 +59,31 @@ class TestCheckReport:
         assert any("expected an object" in p for p in check_report([1, 2]))
 
 
+def slo_section(**overrides) -> dict:
+    """A minimal valid SLO section (nested in service or standalone)."""
+    objective = {
+        "kind": "availability",
+        "target": 0.999,
+        "compliance": 1.0,
+        "budget": {"allowed_bad": 6.0, "bad": 0, "consumed": 0.0, "remaining": 1.0},
+        "alerts": [],
+        "ok": True,
+    }
+    section = {
+        "objectives": {"availability": objective},
+        "page_alerts": 0,
+        "ticket_alerts": 0,
+        "ok": True,
+    }
+    section.update(overrides)
+    return section
+
+
 def service_payload(**overrides) -> dict:
     payload = {name: object() for name in REQUIRED_FIELDS["service"]}
-    payload.update(bench="service", identical=True, ok=True, violations=[])
+    payload.update(
+        bench="service", identical=True, ok=True, violations=[], slo=slo_section()
+    )
     payload.update(overrides)
     return payload
 
@@ -78,6 +100,62 @@ class TestServiceFamily:
         payload = service_payload()
         del payload["latency_ms"]
         assert any("'latency_ms'" in p for p in check_report(payload))
+
+    def test_nested_slo_section_is_validated(self):
+        payload = service_payload(slo=slo_section(page_alerts=2))
+        problems = check_report(payload)
+        assert any("page-severity" in p for p in problems)
+
+    def test_missing_slo_field_is_drift(self):
+        payload = service_payload()
+        del payload["slo"]
+        assert any("'slo'" in p for p in check_report(payload))
+
+    def test_missing_tracing_field_is_drift(self):
+        payload = service_payload()
+        del payload["tracing"]
+        assert any("'tracing'" in p for p in check_report(payload))
+
+
+def slo_payload(**overrides) -> dict:
+    payload = slo_section()
+    payload.update(bench="slo", **overrides)
+    return payload
+
+
+class TestSloFamily:
+    def test_valid_standalone_report_is_clean(self):
+        assert check_report(slo_payload()) == []
+
+    def test_failed_objective_is_drift(self):
+        section = slo_section()
+        section["objectives"]["availability"]["ok"] = False
+        problems = check_report(slo_payload(objectives=section["objectives"]))
+        assert any("'availability' is not ok" in p for p in problems)
+
+    def test_page_alerts_are_drift(self):
+        problems = check_report(slo_payload(page_alerts=1))
+        assert any("page-severity" in p for p in problems)
+
+    def test_empty_objectives_are_drift(self):
+        problems = check_report(slo_payload(objectives={}))
+        assert any("no objectives" in p for p in problems)
+
+    def test_objective_missing_keys_is_drift(self):
+        problems = check_report(
+            slo_payload(objectives={"availability": {"kind": "availability"}})
+        )
+        assert any("missing 'budget'" in p for p in problems)
+
+    def test_false_verdict_is_drift(self):
+        problems = check_report(slo_payload(ok=False))
+        assert any("must be true" in p for p in problems)
+
+    def test_non_object_section_is_drift(self):
+        assert any(
+            "expected an object" in p
+            for p in check_report(service_payload(slo=[1, 2]))
+        )
 
 
 class TestCheckFile:

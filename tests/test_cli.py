@@ -178,8 +178,8 @@ class TestParser:
         for verb in (
             "corpus", "label", "generate", "screen", "risk", "export",
             "analyze", "redact", "report", "fig4", "bench", "stream",
-            "serve", "service", "service-bench", "chaos", "federate",
-            "trace", "metrics",
+            "serve", "service", "service-bench", "slo", "chaos",
+            "federate", "trace", "metrics",
         ):
             assert verb in help_text, verb
         # serve (offline bench) vs service (network server) stay distinct
@@ -370,6 +370,91 @@ class TestServiceBench:
         assert data["n_5xx"] == 0
         assert data["server"]["backend"] == "sqlite"
         assert data["republication"]["stale_status"] == 409
+        assert data["slo"]["ok"] is True
+        assert data["tracing"] == {"enabled": False}
+
+    def test_trace_dir_enables_tracing_and_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        trace_dir = tmp_path / "service_trace"
+        code = main(
+            [
+                "service-bench", "--quick", "--apps", "30", "--clients", "25",
+                "--ops", "4", "--sample", "30", "--pool", "8", "--seed", "2",
+                "--out", str(out), "--trace-dir", str(trace_dir),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "tracing:" in text
+        data = json.loads(out.read_text())
+        assert data["tracing"]["enabled"] is True
+        assert data["tracing"]["join"]["complete"] is True
+        assert data["checks"]["trace_join_complete"] is True
+        for name in (
+            "client_spans.jsonl", "server_spans.jsonl", "trace_joined.json",
+            "access_log.jsonl", "flight_recorder.jsonl",
+        ):
+            assert (trace_dir / name).exists(), name
+        joined = json.loads((trace_dir / "trace_joined.json").read_text())
+        assert joined["otherData"]["joined_processes"] == ["client", "server"]
+
+
+class TestSloVerb:
+    def test_bench_mode(self, tmp_path, capsys):
+        section = {
+            "bench": "service",
+            "slo": {
+                "objectives": {
+                    "availability": {
+                        "kind": "availability", "target": 0.999,
+                        "compliance": 1.0,
+                        "budget": {"allowed_bad": 1.0, "bad": 0,
+                                   "consumed": 0.0, "remaining": 1.0},
+                        "alerts": [], "ok": True,
+                    }
+                },
+                "page_alerts": 0,
+                "ticket_alerts": 0,
+                "ok": True,
+            },
+        }
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(json.dumps(section))
+        code = main(["slo", "--bench", str(path)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "SLO report — OK" in text
+        assert "availability" in text
+
+    def test_bench_mode_flags_violations(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"bench": "service", "slo": {
+            "objectives": {}, "page_alerts": 3, "ticket_alerts": 0, "ok": False,
+        }}))
+        code = main(["slo", "--bench", str(path)])
+        assert code == 1
+        text = capsys.readouterr().out
+        assert "VIOLATED" in text
+        assert "problem:" in text
+
+    def test_access_log_mode_replays(self, tmp_path, capsys):
+        log = tmp_path / "access_log.jsonl"
+        lines = [
+            json.dumps({"kind": "access", "route": "fetch", "status": 200,
+                        "ms": 3.0, "trace_id": None})
+            for _ in range(5)
+        ]
+        log.write_text("\n".join(lines) + "\n")
+        code = main(["slo", "--access-log", str(log), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"] == "slo"
+        assert payload["ok"] is True
+        assert payload["objectives"]["availability"]["total"] == 5
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["slo"]) == 2
+        assert "exactly one" in capsys.readouterr().err
 
 
 class TestBench:

@@ -20,8 +20,12 @@ from repro.distance.matrix import distance_matrix
 def brute_force_group_average(points):
     """Naive agglomeration straight from the paper's definition.
 
-    Returns the sorted list of merge heights and the final partition
-    trajectory as frozensets (order-independent comparison material).
+    Returns the merge heights, the partition trajectory as frozensets
+    (order-independent comparison material), and the smallest gap seen
+    between the best and runner-up candidate merge across all rounds.
+    A tiny gap means the merge choice is decided by float noise — the
+    optimized recurrence may legitimately pick the other pair, so
+    callers should skip exact comparisons in that regime.
     """
 
     def d(a, b):
@@ -30,23 +34,36 @@ def brute_force_group_average(points):
     clusters: list[list[int]] = [[i] for i in range(len(points))]
     heights: list[float] = []
     partitions: list[set[frozenset]] = []
+    min_gap = float("inf")
     while len(clusters) > 1:
         best = None
+        runner_up = None
         for i in range(len(clusters)):
             for j in range(i + 1, len(clusters)):
                 total = sum(
                     d(points[p], points[q]) for p in clusters[i] for q in clusters[j]
                 )
                 avg = total / (len(clusters[i]) * len(clusters[j]))
-                if best is None or avg < best[0] - 1e-12:
+                if best is None or avg < best[0]:
+                    runner_up = best[0] if best is not None else None
                     best = (avg, i, j)
+                elif runner_up is None or avg < runner_up:
+                    runner_up = avg
         avg, i, j = best
+        if runner_up is not None:
+            min_gap = min(min_gap, runner_up - avg)
         heights.append(avg)
         merged = clusters[i] + clusters[j]
         clusters = [c for k, c in enumerate(clusters) if k not in (i, j)]
         clusters.append(merged)
         partitions.append({frozenset(c) for c in clusters})
-    return heights, partitions
+    return heights, partitions, min_gap
+
+
+# Below this, best and runner-up candidate merges are indistinguishable at
+# float precision: either merge order is a valid group-average dendrogram,
+# so exact-match assertions are skipped.
+AMBIGUITY_GAP = 1e-9
 
 
 class TestAgainstBruteForce:
@@ -54,7 +71,7 @@ class TestAgainstBruteForce:
         points = [0.0, 1.0, 5.0, 6.5, 20.0]
         matrix = distance_matrix(points, lambda a, b: abs(a - b))
         dendrogram = agglomerate(matrix, Linkage.GROUP_AVERAGE)
-        brute_heights, __ = brute_force_group_average(points)
+        brute_heights, __, __gap = brute_force_group_average(points)
         ours = [m.height for m in dendrogram.merges]
         assert all(abs(a - b) < 1e-9 for a, b in zip(sorted(ours), sorted(brute_heights)))
 
@@ -70,7 +87,9 @@ class TestAgainstBruteForce:
     def test_heights_match_on_random_inputs(self, points):
         matrix = distance_matrix(points, lambda a, b: abs(a - b))
         dendrogram = agglomerate(matrix, Linkage.GROUP_AVERAGE)
-        brute_heights, __ = brute_force_group_average(points)
+        brute_heights, __, gap = brute_force_group_average(points)
+        if gap < AMBIGUITY_GAP:
+            return  # merge choice decided by float noise; either order is valid
         ours = sorted(m.height for m in dendrogram.merges)
         theirs = sorted(brute_heights)
         assert all(abs(a - b) < 1e-6 for a, b in zip(ours, theirs))
@@ -90,7 +109,9 @@ class TestAgainstBruteForce:
         determined for unique heights)."""
         matrix = distance_matrix(points, lambda a, b: abs(a - b))
         dendrogram = agglomerate(matrix, Linkage.GROUP_AVERAGE)
-        __, partitions = brute_force_group_average(points)
+        heights, partitions, gap = brute_force_group_average(points)
+        if gap < AMBIGUITY_GAP:
+            return  # merge choice decided by float noise; either order is valid
         # Partition just before the last brute-force merge = two clusters.
         brute_two = partitions[-2] if len(partitions) >= 2 else partitions[-1]
         root_left, root_right = dendrogram.children(dendrogram.root)
@@ -99,6 +120,5 @@ class TestAgainstBruteForce:
             frozenset(dendrogram.leaves(root_right)),
         }
         # Only assert when brute force heights are unique (no tie games).
-        heights, __ = brute_force_group_average(points)
         if len(set(round(h, 9) for h in heights)) == len(heights):
             assert ours_two == brute_two
