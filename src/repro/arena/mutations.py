@@ -1,0 +1,330 @@
+"""The attacker suite: seeded, pure mutations over leaking traffic.
+
+Each :class:`MutationFamily` models one way a leaking SDK could re-shape
+its traffic to dodge a deployed conjunction-signature set.  A
+:class:`MutationPlan` binds a family to a seed and to the ground-truth
+contract, and :meth:`MutationPlan.mutate` is a **pure function of
+``(seed, round, packet)``**: the per-packet RNG is derived from the plan
+seed, the round number and a fingerprint of the original packet, so the
+same inputs always produce the same mutant, independent of call order —
+which is what makes arena runs byte-identically replayable.
+
+The one invariant every family preserves: the packet must stay inside
+the payload check's suspicious group.  The attacker is exfiltrating an
+identifier the server side needs to correlate on, so it must arrive
+intact in *some* spelling the scanner knows.  Concretely:
+
+- ``TOKEN_SPLIT`` never splits a field that contains a preserved
+  spelling (spellings contain no ``&``/``=``-prefix, so a spelling
+  never spans fields);
+- ``ENCODING_CHURN`` only rotates a leak value *within* its
+  interchangeable spelling group (see ``PayloadCheck.churn_groups``) —
+  every member is in the scanner's table;
+- the remaining families never rewrite existing field content at all.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.http.message import HttpRequest
+from repro.http.packet import Destination, HttpPacket
+from repro.net.ipv4 import IPv4Address
+from repro.simulation.rng import derive_rng
+
+_HEX = "0123456789abcdef"
+
+
+class MutationFamily(enum.Enum):
+    """One adversarial re-shaping strategy."""
+
+    TOKEN_SPLIT = "token_split"
+    HEADER_REORDER = "header_reorder"
+    PADDING_CHAFF = "padding_chaff"
+    ENCODING_CHURN = "encoding_churn"
+    DEST_ROTATION = "dest_rotation"
+
+
+def tenant_pool(domain: str, n_hosts: int = 3) -> tuple[tuple[str, str], ...]:
+    """The rotation pool of one tenant (the module behind ``domain``).
+
+    A leaking SDK rotates within infrastructure *it* controls, so the
+    pool is derived deterministically from the tenant's registered
+    domain: distinct apex domains (defeating domain-scoped signatures)
+    on adjacent IPs in a tenant-specific 198.18/16 subnet.  Different
+    tenants get disjoint pools, which keeps rotated traffic clusterable
+    per tenant — the property the defender's healing relies on.
+    """
+    label = "".join(
+        c for c in domain.partition(".")[0].lower() if c.isalnum() or c == "-"
+    ) or "tenant"
+    subnet = hashlib.blake2b(domain.encode("utf-8"), digest_size=1).digest()[0]
+    apexes = (f"{label}-edge.net", f"{label}-mirror.org", f"{label}-cache.com")
+    return tuple(
+        (f"r{i}.{apex}", f"198.18.{subnet}.{10 + i}")
+        for i, apex in enumerate(apexes[:n_hosts])
+    )
+
+
+def packet_fingerprint(packet: HttpPacket) -> str:
+    """Stable identity of a packet's content + provenance + destination.
+
+    Keyed into the per-packet RNG so mutation randomness is a function of
+    the packet itself, not of iteration order.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(packet.wire_bytes())
+    digest.update(packet.app_id.encode("utf-8"))
+    digest.update(str(packet.destination).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _split_query(target: str) -> tuple[str, list[str]]:
+    """``target`` -> (path, raw ``&``-separated field chunks).
+
+    Chunks are kept as raw wire text (never decoded/re-encoded) so
+    untouched fields keep their exact spelling.
+    """
+    path, sep, raw_query = target.partition("?")
+    chunks = [c for c in raw_query.split("&") if c] if sep else []
+    return path, chunks
+
+
+def _join_query(path: str, chunks: list[str]) -> str:
+    return path + ("?" + "&".join(chunks) if chunks else "")
+
+
+def _hex_junk(rng: Random, length: int) -> str:
+    return "".join(rng.choice(_HEX) for __ in range(length))
+
+
+def _rewrite(
+    packet: HttpPacket,
+    *,
+    target: str | None = None,
+    headers: list[tuple[str, str]] | None = None,
+    body: bytes | None = None,
+    destination: Destination | None = None,
+    family: MutationFamily,
+    round_no: int,
+) -> HttpPacket:
+    """A copy of ``packet`` with some request fields replaced + arena tags."""
+    request = HttpRequest(
+        method=packet.request.method,
+        target=packet.request.target if target is None else target,
+        version=packet.request.version,
+        headers=list(packet.request.headers) if headers is None else headers,
+        body=packet.request.body if body is None else body,
+    )
+    return HttpPacket(
+        destination=packet.destination if destination is None else destination,
+        request=request,
+        app_id=packet.app_id,
+        timestamp=packet.timestamp,
+        meta={**packet.meta, "arena_family": family.value, "arena_round": round_no},
+    )
+
+
+def _substitute(text: str, members: Sequence[str], target: str) -> str:
+    """Replace every occurrence of any member with ``target``, one pass.
+
+    A single left-to-right scan trying members longest-first: replaced
+    output is never rescanned, so substitution cannot cascade (e.g. a
+    base64 target containing a hex-shaped substring is left alone).
+    """
+    ordered = sorted(members, key=len, reverse=True)
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        hit = next((m for m in ordered if text.startswith(m, i)), None)
+        if hit is not None:
+            out.append(target)
+            i += len(hit)
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+@dataclass(frozen=True, slots=True)
+class MutationPlan:
+    """One family bound to a seed and the ground-truth contract.
+
+    :param family: the mutation strategy.
+    :param seed: arena seed; all randomness derives from it.
+    :param preserve: spellings that must survive intact
+        (``PayloadCheck.spellings()``) — the fields carrying them are
+        never split.
+    :param churn_groups: interchangeable spelling groups
+        (``PayloadCheck.churn_groups()``) for ``ENCODING_CHURN``.
+    :param host_pool: ``(host, ip)`` pairs of the tenant's rotation pool
+        for ``DEST_ROTATION``.
+    """
+
+    family: MutationFamily
+    seed: int
+    preserve: tuple[str, ...] = ()
+    churn_groups: tuple[tuple[str, ...], ...] = ()
+    host_pool: tuple[tuple[str, str], ...] = ()
+
+    def _rng(self, packet: HttpPacket, round_no: int) -> Random:
+        return derive_rng(
+            self.seed, "arena", self.family.value, str(round_no),
+            packet_fingerprint(packet),
+        )
+
+    def mutate(self, packet: HttpPacket, round_no: int) -> HttpPacket:
+        """The round-``round_no`` mutant of ``packet`` (pure, seeded).
+
+        Mutations always apply to the *original* packet — round ``r``'s
+        mutant is not built on round ``r-1``'s — so any
+        ``(seed, round, packet)`` triple can be replayed in isolation.
+        """
+        rng = self._rng(packet, round_no)
+        if self.family is MutationFamily.TOKEN_SPLIT:
+            return self._token_split(packet, rng, round_no)
+        if self.family is MutationFamily.HEADER_REORDER:
+            return self._header_reorder(packet, rng, round_no)
+        if self.family is MutationFamily.PADDING_CHAFF:
+            return self._padding_chaff(packet, rng, round_no)
+        if self.family is MutationFamily.ENCODING_CHURN:
+            return self._encoding_churn(packet, rng, round_no)
+        if self.family is MutationFamily.DEST_ROTATION:
+            return self._dest_rotation(packet, rng, round_no)
+        raise ValueError(f"unknown mutation family {self.family!r}")
+
+    def mutate_all(
+        self, packets: Sequence[HttpPacket], round_no: int
+    ) -> list[HttpPacket]:
+        """Mutants for a whole round, in input order."""
+        return [self.mutate(packet, round_no) for packet in packets]
+
+    # -- families ------------------------------------------------------------
+
+    def _protected(self, chunk: str) -> bool:
+        return any(spelling in chunk for spelling in self.preserve)
+
+    def _token_split(
+        self, packet: HttpPacket, rng: Random, round_no: int
+    ) -> HttpPacket:
+        """Split long field values across two fields (leak fields exempt)."""
+        path, chunks = _split_query(packet.request.target)
+        out: list[str] = []
+        for chunk in chunks:
+            key, eq, value = chunk.partition("=")
+            if eq and len(value) >= 8 and not self._protected(chunk):
+                cut = rng.randrange(2, len(value) - 1)
+                out.append(f"{key}={value[:cut]}")
+                out.append(f"{key}_p{rng.randrange(2, 10)}={value[cut:]}")
+            else:
+                out.append(chunk)
+        return _rewrite(
+            packet, target=_join_query(path, out),
+            family=self.family, round_no=round_no,
+        )
+
+    def _header_reorder(
+        self, packet: HttpPacket, rng: Random, round_no: int
+    ) -> HttpPacket:
+        """Shuffle header order and query field order (content unchanged)."""
+        headers = list(packet.request.headers)
+        rng.shuffle(headers)
+        path, chunks = _split_query(packet.request.target)
+        rng.shuffle(chunks)
+        return _rewrite(
+            packet, target=_join_query(path, chunks), headers=headers,
+            family=self.family, round_no=round_no,
+        )
+
+    def _padding_chaff(
+        self, packet: HttpPacket, rng: Random, round_no: int
+    ) -> HttpPacket:
+        """Inject junk fields between real ones plus a junk header.
+
+        Chaff values are short random hex (6–13 chars) — far below the
+        scanner's shortest spelling, so chaff can never fake a leak.
+        """
+        path, chunks = _split_query(packet.request.target)
+        for __ in range(rng.randrange(2, 6)):
+            chaff = f"z{_hex_junk(rng, 4)}={_hex_junk(rng, rng.randrange(6, 14))}"
+            chunks.insert(rng.randrange(len(chunks) + 1), chaff)
+        headers = list(packet.request.headers)
+        headers.append(("X-Padding", _hex_junk(rng, 8)))
+        return _rewrite(
+            packet, target=_join_query(path, chunks), headers=headers,
+            family=self.family, round_no=round_no,
+        )
+
+    def _encoding_churn(
+        self, packet: HttpPacket, rng: Random, round_no: int
+    ) -> HttpPacket:
+        """Re-spell each leak value within its detectable spelling group.
+
+        The group member is picked by ``(round + per-packet offset) %
+        len(group)``, so one round mixes spellings across packets and
+        every packet cycles spellings across rounds.
+        """
+        target = packet.request.target
+        headers = list(packet.request.headers)
+        body_text = packet.request.body.decode("latin-1")
+        for group in self.churn_groups:
+            pick = group[(round_no + rng.randrange(len(group))) % len(group)]
+            target = _substitute(target, group, pick)
+            headers = [
+                (name, _substitute(value, group, pick)) for name, value in headers
+            ]
+            body_text = _substitute(body_text, group, pick)
+        return _rewrite(
+            packet, target=target, headers=headers,
+            body=body_text.encode("latin-1"),
+            family=self.family, round_no=round_no,
+        )
+
+    def _dest_rotation(
+        self, packet: HttpPacket, rng: Random, round_no: int
+    ) -> HttpPacket:
+        """Rotate the destination within the tenant's host pool.
+
+        The pool defaults to :func:`tenant_pool` of the packet's own
+        registered domain; an explicit ``host_pool`` on the plan (e.g. a
+        shared CDN) overrides it for every tenant.
+        """
+        pool = self.host_pool or tenant_pool(packet.destination.registered_domain)
+        host, ip = pool[(round_no + rng.randrange(len(pool))) % len(pool)]
+        headers = [
+            (name, host if name.lower() == "host" else value)
+            for name, value in packet.request.headers
+        ]
+        destination = Destination(IPv4Address.parse(ip), packet.port, host)
+        return _rewrite(
+            packet, headers=headers, destination=destination,
+            family=self.family, round_no=round_no,
+        )
+
+
+def plans_for(
+    check,
+    *,
+    seed: int,
+    families: Sequence[MutationFamily] | None = None,
+    host_pool: tuple[tuple[str, str], ...] = (),
+) -> list[MutationPlan]:
+    """One :class:`MutationPlan` per family, wired to ground truth.
+
+    :param check: the corpus :class:`~repro.sensitive.payload_check.PayloadCheck`
+        — supplies the preserve set and churn groups.
+    """
+    chosen = list(families) if families is not None else list(MutationFamily)
+    preserve = check.spellings()
+    churn = check.churn_groups()
+    return [
+        MutationPlan(
+            family=family, seed=seed, preserve=preserve,
+            churn_groups=churn, host_pool=host_pool,
+        )
+        for family in chosen
+    ]

@@ -388,6 +388,47 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_arena(args: argparse.Namespace) -> int:
+    from repro.arena import ArenaBudget, run_arena
+
+    if args.quick:
+        # Smoke configuration: every recovery gate still applies in full
+        # — only the corpus/round scale shrinks.
+        n_apps = min(args.apps, 60)
+        rounds = min(args.rounds, 4)
+        train = min(args.train, 96)
+        leak = min(args.leak, 64)
+        benign = min(args.benign, 96)
+    else:
+        n_apps, rounds = args.apps, args.rounds
+        train, leak, benign = args.train, args.leak, args.benign
+    budget = ArenaBudget(
+        max_rounds_to_recovery=args.budget_recovery,
+        max_evasion_half_life=args.budget_half_life,
+        max_fp_regression=args.budget_fp_regression,
+    )
+    families = [f.strip() for f in args.families.split(",") if f.strip()] or None
+    report = run_arena(
+        n_apps=n_apps,
+        seed=args.seed,
+        rounds=rounds,
+        train=train,
+        leak=leak,
+        benign=benign,
+        families=families,
+        epsilon=args.epsilon,
+        threshold=args.threshold,
+        workers=args.workers,
+        budget=budget,
+    )
+    emit_report(args, report.render(), report.to_dict())
+    if args.out:
+        report.save(args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.bench import ServingBudget, run_serving_bench
     from repro.serving.gateway import ShedPolicy
@@ -781,6 +822,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="", help="write the JSON report here")
     add_json_flag(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "arena",
+        help="adversarial evasion arena: seeded attacker mutations vs the "
+        "self-healing regeneration loop; emits BENCH_arena.json",
+    )
+    p.add_argument("--apps", type=int, default=120)
+    p.add_argument("--rounds", type=int, default=6, help="attack rounds per family")
+    p.add_argument("--train", type=int, default=160,
+                   help="sensitive packets in the pre-attack training split")
+    p.add_argument("--leak", type=int, default=96,
+                   help="leaking packets mutated each round")
+    p.add_argument("--benign", type=int, default=128,
+                   help="benign packets interleaved each round")
+    p.add_argument("--families", default="",
+                   help="comma-separated mutation families (default: all)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--epsilon", type=float, default=0.05,
+                   help="recall tolerance band around pre-attack recall")
+    p.add_argument("--threshold", type=float, default=1.2,
+                   help="absolute clustering/generation cut height")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--budget-recovery", type=int, default=3,
+                   help="max rounds-to-recovery per family")
+    p.add_argument("--budget-half-life", type=float, default=3.0,
+                   help="max evasion half-life (rounds) per family")
+    p.add_argument("--budget-fp-regression", type=float, default=0.02,
+                   help="max benign FP-rate rise over the pre-attack rate")
+    p.add_argument("--quick", action="store_true", help="smoke scale for CI")
+    p.add_argument("--out", default="", help="write the JSON report here")
+    add_json_flag(p)
+    p.set_defaults(func=cmd_arena)
 
     p = sub.add_parser(
         "service",

@@ -60,12 +60,17 @@ class StreamingConfig:
         attach (caps per-packet cost).
     :param compact_every: ingest batches between automatic compactions;
         ``0`` leaves compaction to the caller.
+    :param max_cached_pairs: optional LRU bound on the pair cache (see
+        :class:`~repro.distance.engine.PairStream`): keeps memory flat
+        over unbounded streams at the price of re-evaluating evicted
+        pairs, without changing any distance or the partition.
     """
 
     blocking: BlockingConfig = field(default_factory=BlockingConfig)
     linkage: Linkage = Linkage.GROUP_AVERAGE
     attach_exemplars: int = 8
     compact_every: int = 4
+    max_cached_pairs: int | None = None
 
     def __post_init__(self) -> None:
         if self.linkage is Linkage.WARD:
@@ -81,6 +86,10 @@ class StreamingConfig:
         if self.compact_every < 0:
             raise ClusteringError(
                 f"compact_every must be >= 0, got {self.compact_every}"
+            )
+        if self.max_cached_pairs is not None and self.max_cached_pairs < 1:
+            raise ClusteringError(
+                f"max_cached_pairs must be >= 1 when set, got {self.max_cached_pairs}"
             )
 
 
@@ -160,7 +169,9 @@ class StreamingClusterer:
         self.engine = engine or DistanceEngine(metric)
         self.metric = self.engine.metric
         self.obs = obs or NULL_OBS
-        self.stream = PairStream(self.engine)
+        self.stream = PairStream(
+            self.engine, max_cached_pairs=self.config.max_cached_pairs
+        )
         self.blocker = make_blocker(self.metric, self.config.blocking)
         self.stats = StreamingStats()
         self._members: dict[int, list[int]] = {}  # cluster id -> item indices

@@ -900,15 +900,44 @@ class PairStream:
     Distances are bit-identical to the full-matrix build: pairs are
     always evaluated with the smaller index as the row item, matching
     the condensed layout's row-major concatenation order for NCD.
+
+    :param max_cached_pairs: optional LRU bound on the pair cache.  Over
+        an unbounded stream (e.g. arena rounds feeding misses forever)
+        the cache would otherwise grow with every pair ever probed; with
+        a bound, the least-recently-used pairs are evicted and simply
+        recomputed (deterministically) if requested again, so capping
+        the cache never changes any distance — only ``pairs_evaluated``.
     """
 
-    def __init__(self, engine: DistanceEngine | None = None) -> None:
+    def __init__(
+        self,
+        engine: DistanceEngine | None = None,
+        *,
+        max_cached_pairs: int | None = None,
+    ) -> None:
+        if max_cached_pairs is not None and max_cached_pairs < 1:
+            raise ValueError("max_cached_pairs must be >= 1 when set")
         self.engine = engine or DistanceEngine()
+        self.max_cached_pairs = max_cached_pairs
         self.items: list = []
         self._evaluator = None
         self._cache: dict[tuple[int, int], float] = {}
         self.pairs_evaluated = 0
         self.cache_hits = 0
+        self.evictions = 0
+
+    @property
+    def cached_pairs(self) -> int:
+        """Current number of pair distances held in the cache."""
+        return len(self._cache)
+
+    def _evict_over_cap(self) -> None:
+        if self.max_cached_pairs is None:
+            return
+        while len(self._cache) > self.max_cached_pairs:
+            # dict preserves insertion order; hits re-insert (LRU order).
+            self._cache.pop(next(iter(self._cache)))
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self.items)
@@ -951,6 +980,9 @@ class PairStream:
                 missing.append(key)
                 missing_pos.append(t)
             else:
+                if self.max_cached_pairs is not None:
+                    # Refresh recency so hot pairs survive eviction.
+                    self._cache[key] = self._cache.pop(key)
                 out[t] = value
                 self.cache_hits += 1
         if missing:
@@ -968,6 +1000,7 @@ class PairStream:
                 self._cache[key] = float(value)
                 out[pos] = value
             self.pairs_evaluated += len(missing)
+            self._evict_over_cap()
         return out
 
     def matrix(self, indices: Sequence[int]) -> CondensedMatrix:

@@ -2,8 +2,8 @@
 
 The repo commits one machine-readable report per bench family
 (``BENCH_perf.json``, ``BENCH_serving.json``, ``BENCH_federation.json``,
-``BENCH_streaming.json``, ``BENCH_service.json``) as the perf trajectory
-of record.  Nothing
+``BENCH_streaming.json``, ``BENCH_service.json``, ``BENCH_arena.json``)
+as the perf trajectory of record.  Nothing
 stops a refactor from silently changing a report's shape — or from
 committing a report whose own gates failed — so the lint job runs this
 check over every committed report: fields the CI assertions and the
@@ -57,6 +57,11 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "slo": (
         "bench", "objectives", "page_alerts", "ticket_alerts", "ok",
     ),
+    "arena": (
+        "bench", "corpus", "seed", "rounds", "epsilon", "threshold",
+        "traffic", "workers", "cpu_count", "boot", "families",
+        "ground_truth_intact", "recovered", "budget", "violations", "ok",
+    ),
 }
 
 #: Flags that must be literally ``True`` in a committed report — a report
@@ -70,6 +75,7 @@ TRUE_FLAGS: dict[str, tuple[str, ...]] = {
     "streaming_audit": ("identical", "ok"),
     "service": ("identical", "ok"),
     "slo": ("ok",),
+    "arena": ("ground_truth_intact", "recovered", "ok"),
 }
 
 

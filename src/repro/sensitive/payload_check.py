@@ -19,7 +19,12 @@ from repro.http.packet import HttpPacket
 if TYPE_CHECKING:
     from repro.reliability.quarantine import Quarantine
 from repro.sensitive.identifiers import DeviceIdentity, IdentifierKind
-from repro.sensitive.transforms import Transform, transform_variants
+from repro.sensitive.transforms import (
+    Transform,
+    transform_value,
+    transform_variants,
+    wire_spellings,
+)
 
 #: The (kind, transform) pairs the paper reports as Table III rows.
 TABLE3_ROWS: tuple[tuple[IdentifierKind, Transform], ...] = (
@@ -90,6 +95,36 @@ class PayloadCheck:
                     lowered = value.lower()
                     if lowered != value:
                         self._table.append((kind, transform, lowered))
+
+    def spellings(self) -> tuple[str, ...]:
+        """Every on-wire spelling the scanner searches for, deduplicated.
+
+        This is the arena attacker's *preserve set*: a mutation that keeps
+        at least one of these substrings intact keeps the packet inside
+        the ground-truth suspicious group.
+        """
+        return tuple(dict.fromkeys(spelling for _, _, spelling in self._table))
+
+    def churn_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Interchangeable spelling groups for the encoding-churn attacker.
+
+        One group per (identifier, transform): the canonical transformed
+        value first, then every other spelling of it the scanner knows
+        (upper-hex, percent, base64).  Substituting any group member for
+        any other re-spells a leak without ever leaving the scanner's
+        table — the mutation changes the wire bytes, never the label.
+        """
+        groups: list[tuple[str, ...]] = []
+        for kind, value in self.identity.items():
+            for transform in self.transforms:
+                if kind is IdentifierKind.CARRIER and transform.is_hash:
+                    continue
+                canonical = transform_value(value, transform)
+                spellings = wire_spellings(canonical)
+                long_enough = tuple(s for s in spellings if len(s) >= 4)
+                if len(long_enough) >= 2:
+                    groups.append(long_enough)
+        return tuple(groups)
 
     def scan_text(self, text: str) -> list[Finding]:
         """All findings in a text, sorted by offset then label."""

@@ -53,20 +53,28 @@ def transform_value(value: str, transform: Transform) -> str:
     raise ValueError(f"unknown transform {transform!r}")
 
 
-def _encodings(text: str) -> set[str]:
-    """All wire encodings of one literal string.
+def wire_spellings(text: str) -> tuple[str, ...]:
+    """All wire encodings of one literal string, canonical form first.
 
     Covers: the literal itself, upper-case hex variant (for hex-shaped
     values), percent-encoding, and standard base64 of the UTF-8 bytes.
+    Every element is a spelling the payload check's scanner searches for,
+    so any substitution *within* this tuple keeps a leak detectable —
+    the contract the evasion arena's encoding-churn mutation relies on.
     """
-    variants = {text}
+    variants = [text]
     if any(c in "abcdef" for c in text) and all(c in "0123456789abcdef" for c in text):
-        variants.add(text.upper())
+        variants.append(text.upper())
     encoded = percent_encode(text)
     if encoded != text:
-        variants.add(encoded)
-    variants.add(base64.b64encode(text.encode("utf-8")).decode("ascii"))
-    return variants
+        variants.append(encoded)
+    variants.append(base64.b64encode(text.encode("utf-8")).decode("ascii"))
+    return tuple(dict.fromkeys(variants))
+
+
+def _encodings(text: str) -> set[str]:
+    """Set view of :func:`wire_spellings` (the scanner's search table)."""
+    return set(wire_spellings(text))
 
 
 def transform_variants(value: str, transform: Transform) -> set[str]:

@@ -108,6 +108,26 @@ class SignatureMatcher:
                 return MatchResult(matched=True, signature=signature, score=1.0)
         return MatchResult(matched=False)
 
+    def match_full_scan(self, packet: HttpPacket) -> MatchResult:
+        """Prefilter-free reference: test every scope-admitted signature.
+
+        Exists to make the prefilter's soundness *checkable* rather than
+        argued: the filter literal is one of the signature's own tokens,
+        so its absence from the text already falsifies the conjunction —
+        and because matchers are rebuilt from scratch on every reload,
+        literals can never go stale against a regenerated set (a frozen
+        signature's longest token is fixed at construction).  The
+        adversarial equivalence regression asserts
+        ``match(p) == match_full_scan(p)`` across mutated traffic and
+        regenerated sets; production paths never call this.
+        """
+        text = packet.canonical_text()
+        scoped = self._by_domain.get(packet.destination.registered_domain, [])
+        for __, signature in (*scoped, *self._unscoped):
+            if signature.matches_text(text):
+                return MatchResult(matched=True, signature=signature, score=1.0)
+        return MatchResult(matched=False)
+
     def is_sensitive(self, packet: HttpPacket) -> bool:
         return self.match(packet).matched
 

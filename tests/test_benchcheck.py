@@ -158,6 +158,40 @@ class TestSloFamily:
         )
 
 
+def arena_payload(**overrides) -> dict:
+    payload = {name: object() for name in REQUIRED_FIELDS["arena"]}
+    payload.update(
+        bench="arena", ground_truth_intact=True, recovered=True,
+        ok=True, violations=[],
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestArenaFamily:
+    def test_valid_arena_report_is_clean(self):
+        assert check_report(arena_payload()) == []
+
+    def test_unrecovered_report_is_drift(self):
+        problems = check_report(arena_payload(recovered=False))
+        assert any("'recovered'" in p and "must be true" in p for p in problems)
+
+    def test_broken_ground_truth_is_drift(self):
+        problems = check_report(arena_payload(ground_truth_intact=False))
+        assert any("'ground_truth_intact'" in p for p in problems)
+
+    def test_missing_families_field_is_drift(self):
+        payload = arena_payload()
+        del payload["families"]
+        assert any("'families'" in p for p in check_report(payload))
+
+    def test_lingering_violations_are_drift(self):
+        problems = check_report(
+            arena_payload(violations=["token_split: rounds-to-recovery 9 > 3"])
+        )
+        assert any("violations" in p for p in problems)
+
+
 class TestCheckFile:
     def test_unparseable_file(self, tmp_path):
         path = tmp_path / "BENCH_broken.json"

@@ -178,7 +178,7 @@ class TestParser:
         for verb in (
             "corpus", "label", "generate", "screen", "risk", "export",
             "analyze", "redact", "report", "fig4", "bench", "stream",
-            "serve", "service", "service-bench", "slo", "chaos",
+            "serve", "arena", "service", "service-bench", "slo", "chaos",
             "federate", "trace", "metrics",
         ):
             assert verb in help_text, verb
@@ -607,6 +607,41 @@ class TestMetrics:
         data = json.loads(capsys.readouterr().out)
         assert data["counters"]["flow_decisions"] > 0
         assert data["events"] == 150
+
+
+class TestArena:
+    ARGS = [
+        "arena", "--apps", "40", "--rounds", "2", "--train", "72",
+        "--leak", "32", "--benign", "48", "--families", "padding_chaff",
+        "--seed", "5",
+    ]
+
+    def test_small_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_arena.json"
+        code = main([*self.ARGS, "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Arena bench" in text
+        assert "budget: ok" in text
+        report = json.loads(out.read_text())
+        assert report["bench"] == "arena"
+        assert report["ok"] is True
+        assert report["recovered"] is True
+        assert list(report["families"]) == ["padding_chaff"]
+
+    def test_arena_json_output(self, capsys):
+        code = main([*self.ARGS, "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ground_truth_intact"] is True
+        assert data["families"]["padding_chaff"]["rounds"]
+
+    def test_quick_flag_clamps_scale(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["arena", "--quick"])
+        assert args.quick
+        assert (args.apps, args.rounds) == (120, 6)  # clamped inside cmd_arena
 
 
 class TestStream:

@@ -197,3 +197,78 @@ class TestPairStream:
         values = stream.distances(pairs)
         for (i, j), value in zip(pairs, values):
             assert value == full.get(i, j)
+
+
+class TestPairStreamEviction:
+    """The LRU bound: memory stays flat and no distance ever changes."""
+
+    def test_cache_never_exceeds_the_bound(self, packets, full):
+        stream = PairStream(
+            DistanceEngine(PacketDistance.paper()), max_cached_pairs=10
+        )
+        stream.extend(packets)
+        pairs = [(i, j) for i in range(8) for j in range(i + 1, 12)]
+        values = stream.distances(pairs)
+        assert stream.cached_pairs <= 10
+        assert stream.evictions == len(pairs) - 10
+        for (i, j), value in zip(pairs, values):
+            assert value == full.get(i, j)
+
+    def test_evicted_pairs_recompute_to_the_same_value(self, packets, full):
+        stream = PairStream(
+            DistanceEngine(PacketDistance.paper()), max_cached_pairs=3
+        )
+        stream.extend(packets)
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]
+        first = list(stream.distances(pairs))
+        evaluated = stream.pairs_evaluated
+        second = list(stream.distances(pairs))
+        assert first == second
+        assert stream.pairs_evaluated > evaluated  # recomputed, not stale
+        for (i, j), value in zip(pairs, second):
+            assert value == full.get(i, j)
+
+    def test_hits_refresh_recency(self, packets):
+        stream = PairStream(
+            DistanceEngine(PacketDistance.paper()), max_cached_pairs=2
+        )
+        stream.extend(packets)
+        stream.distances([(0, 1), (2, 3)])
+        stream.distances([(0, 1)])  # (0,1) now most recent
+        stream.distances([(4, 5)])  # evicts (2,3), not (0,1)
+        evaluated = stream.pairs_evaluated
+        stream.distances([(0, 1)])
+        assert stream.pairs_evaluated == evaluated  # still a hit
+
+    def test_bound_below_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            PairStream(DistanceEngine(PacketDistance.paper()), max_cached_pairs=0)
+
+    def test_unbounded_stream_never_evicts(self, packets):
+        stream = PairStream(DistanceEngine(PacketDistance.paper()))
+        stream.extend(packets)
+        stream.distances([(i, j) for i in range(6) for j in range(i + 1, 10)])
+        assert stream.evictions == 0
+
+    def test_streaming_partition_unchanged_by_the_bound(self, packets):
+        from repro.core.streaming import StreamingClusterer, StreamingConfig
+
+        def run(max_cached_pairs):
+            config = StreamingConfig(
+                blocking=BlockingConfig(threshold=THRESHOLD),
+                compact_every=1,
+                max_cached_pairs=max_cached_pairs,
+            )
+            clusterer = StreamingClusterer(
+                PacketDistance.paper(), config,
+                engine=DistanceEngine(PacketDistance.paper()),
+            )
+            for start in range(0, 60, 20):
+                clusterer.ingest(packets[start : start + 20])
+            return clusterer
+
+        capped = run(max_cached_pairs=50)
+        unbounded = run(max_cached_pairs=None)
+        assert capped.stream.evictions > 0
+        assert capped.stream.cached_pairs <= 50
+        assert capped.partition() == unbounded.partition()
